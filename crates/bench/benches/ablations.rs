@@ -1,0 +1,93 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * bottom-up (TSBUILD) vs top-down construction — §4.2 claims
+//!   bottom-up is better without being slower;
+//! * depth-bounded, windowed CREATEPOOL vs exhaustive all-pairs pools;
+//! * `Uh`/`Lh` heap-bound sensitivity;
+//! * GreedyMac vs exact-EMD set distance inside ESD.
+
+use axqa_bench::Fixture;
+use axqa_core::{topdown_build, ts_build, BuildConfig};
+use axqa_datagen::Dataset;
+use axqa_distance::{esd_documents, EsdConfig, SetDistance};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_topdown(c: &mut Criterion) {
+    let fixture = Fixture::new(Dataset::SProt, 15_000, 0);
+    let mut group = c.benchmark_group("ablation_topdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("bottom_up_10kb", |b| {
+        b.iter(|| ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)))
+    });
+    group.bench_function("top_down_10kb", |b| {
+        b.iter(|| topdown_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)))
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let fixture = Fixture::new(Dataset::SProt, 15_000, 0);
+    let mut group = c.benchmark_group("ablation_pool");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("windowed_groups", |b| {
+        b.iter(|| ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)))
+    });
+    group.bench_function("all_pairs_groups", |b| {
+        let mut config = BuildConfig::with_budget(10 * 1024);
+        config.group_all_pairs_cap = usize::MAX;
+        b.iter(|| ts_build(&fixture.stable, &config))
+    });
+    group.finish();
+}
+
+fn bench_heap_bounds(c: &mut Criterion) {
+    let fixture = Fixture::new(Dataset::SProt, 15_000, 0);
+    let mut group = c.benchmark_group("ablation_heap");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (upper, lower) in [(1_000usize, 10usize), (10_000, 100), (50_000, 500)] {
+        group.bench_function(format!("uh{upper}_lh{lower}"), |b| {
+            let mut config = BuildConfig::with_budget(10 * 1024);
+            config.heap_upper = upper;
+            config.heap_lower = lower;
+            b.iter(|| ts_build(&fixture.stable, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_setdist(c: &mut Criterion) {
+    let a = Fixture::new(Dataset::Imdb, 10_000, 0);
+    let b_fixture = Fixture::new(Dataset::Imdb, 6_000, 0);
+    let mut group = c.benchmark_group("ablation_setdist");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("esd_greedy_mac", |bench| {
+        let config = EsdConfig {
+            set_distance: SetDistance::GreedyMac { exponent: 2.0 },
+        };
+        bench.iter(|| esd_documents(&a.doc, &b_fixture.doc, &config))
+    });
+    group.bench_function("esd_exact_emd", |bench| {
+        let config = EsdConfig {
+            set_distance: SetDistance::Emd { exponent: 2.0 },
+        };
+        bench.iter(|| esd_documents(&a.doc, &b_fixture.doc, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topdown,
+    bench_pool,
+    bench_heap_bounds,
+    bench_setdist
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 11 — the approximate-answer + ESD pipeline per technique:
+//! evaluate a twig over a 10 KB synopsis, summarize the answer, compare
+//! against the precomputed true nesting tree with ESD.
+
+use axqa_bench::Fixture;
+use axqa_core::{eval_query, ts_build, BuildConfig, EvalConfig};
+use axqa_datagen::Dataset;
+use axqa_distance::{esd_summaries, EsdConfig, WeightedSummary};
+use axqa_eval::evaluate;
+use axqa_xsketch::answer::{sample_answer, SampleConfig};
+use axqa_xsketch::build::{build_xsketch, XsBuildConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_esd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for dataset in [Dataset::Imdb, Dataset::SProt] {
+        let fixture = Fixture::new(dataset, 15_000, 20);
+        let ts = ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)).sketch;
+        let build_workload = fixture.build_workload(15);
+        let xs = build_xsketch(
+            &fixture.stable,
+            &build_workload,
+            &XsBuildConfig::with_budget(10 * 1024),
+        );
+        // Precompute the truth summaries (budget-independent).
+        let truths: Vec<WeightedSummary> = fixture
+            .workload
+            .iter()
+            .map(|q| {
+                let nt = evaluate(&fixture.doc, &fixture.index, q).expect("positive");
+                WeightedSummary::from_nesting_tree(&fixture.doc, &nt)
+            })
+            .collect();
+        let esd = EsdConfig::default();
+
+        group.bench_function(format!("treesketch_answer_esd/{}", dataset.name()), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for (query, truth) in fixture.workload.iter().zip(&truths) {
+                    if let Some(result) = eval_query(&ts, query, &EvalConfig::default()) {
+                        let approx = WeightedSummary::from_result_sketch(&result);
+                        total += esd_summaries(truth, &approx, &esd);
+                    }
+                }
+                total
+            })
+        });
+        group.bench_function(format!("xsketch_sampled_esd/{}", dataset.name()), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                let mut rng = StdRng::seed_from_u64(9);
+                for (query, truth) in fixture.workload.iter().zip(&truths) {
+                    if let Some(tree) =
+                        sample_answer(&xs, query, &SampleConfig::default(), &mut rng)
+                    {
+                        let approx = WeightedSummary::from_answer_tree(&tree);
+                        total += esd_summaries(truth, &approx, &esd);
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 12 — the selectivity-estimation pipeline per technique:
+//! EVALQUERY + §4.4 post-order counting over 10 KB synopses, against the
+//! histogram-based twig-XSketch estimator.
+
+use axqa_bench::Fixture;
+use axqa_core::selectivity::estimate_query_selectivity;
+use axqa_core::{ts_build, BuildConfig, EvalConfig};
+use axqa_datagen::Dataset;
+use axqa_xsketch::build::{build_xsketch, XsBuildConfig};
+use axqa_xsketch::estimate::{xs_estimate_selectivity, XsEvalConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_selectivity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for dataset in [Dataset::XMark, Dataset::SProt] {
+        let fixture = Fixture::new(dataset, 20_000, 100);
+        let ts = ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)).sketch;
+        let build_workload = fixture.build_workload(15);
+        let xs = build_xsketch(
+            &fixture.stable,
+            &build_workload,
+            &XsBuildConfig::with_budget(10 * 1024),
+        );
+        group.bench_function(format!("treesketch_estimate/{}", dataset.name()), |b| {
+            b.iter(|| {
+                fixture
+                    .workload
+                    .iter()
+                    .map(|q| estimate_query_selectivity(&ts, q, &EvalConfig::default()))
+                    .sum::<f64>()
+            })
+        });
+        group.bench_function(format!("xsketch_estimate/{}", dataset.name()), |b| {
+            b.iter(|| {
+                fixture
+                    .workload
+                    .iter()
+                    .map(|q| xs_estimate_selectivity(&xs, q, &XsEvalConfig::default()))
+                    .sum::<f64>()
+            })
+        });
+        // The cost an exact engine would pay instead (what approximate
+        // answering saves, §1).
+        group.bench_function(format!("exact_evaluation/{}", dataset.name()), |b| {
+            b.iter(|| {
+                fixture
+                    .workload
+                    .iter()
+                    .map(|q| axqa_eval::selectivity(&fixture.doc, &fixture.index, q))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

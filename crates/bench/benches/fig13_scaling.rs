@@ -1,0 +1,46 @@
+//! Figure 13 / §6.2 — scaling: TSBUILD and estimation cost as the
+//! document grows (the paper's large-dataset experiment, scaled to
+//! laptop sizes; the reproduced shape is near-linear growth of
+//! construction and size-independent estimation).
+
+use axqa_bench::Fixture;
+use axqa_core::selectivity::estimate_query_selectivity;
+use axqa_core::{ts_build, BuildConfig, EvalConfig};
+use axqa_datagen::Dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for elements in [10_000usize, 30_000, 90_000] {
+        let fixture = Fixture::new(Dataset::Dblp, elements, 50);
+        group.throughput(Throughput::Elements(elements as u64));
+        group.bench_with_input(
+            BenchmarkId::new("tsbuild_10kb", elements),
+            &fixture,
+            |b, fixture| {
+                b.iter(|| ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)))
+            },
+        );
+        let ts = ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)).sketch;
+        group.bench_with_input(
+            BenchmarkId::new("estimate_workload", elements),
+            &fixture,
+            |b, fixture| {
+                b.iter(|| {
+                    fixture
+                        .workload
+                        .iter()
+                        .map(|q| estimate_query_selectivity(&ts, q, &EvalConfig::default()))
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the substrates: parsing, indexing, BUILDSTABLE,
+//! exact twig evaluation and ESD.
+
+use axqa_bench::Fixture;
+use axqa_datagen::Dataset;
+use axqa_distance::{esd_documents, EsdConfig};
+use axqa_eval::{evaluate, DocIndex};
+use axqa_synopsis::build_stable;
+use axqa_xml::{parse_document, write_document};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_micro(c: &mut Criterion) {
+    let fixture = Fixture::new(Dataset::XMark, 30_000, 20);
+    let serialized = write_document(&fixture.doc);
+
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.throughput(Throughput::Bytes(serialized.len() as u64));
+    group.bench_function("parse_document", |b| {
+        b.iter(|| parse_document(&serialized).unwrap())
+    });
+    group.throughput(Throughput::Elements(fixture.doc.len() as u64));
+    group.bench_function("build_stable", |b| b.iter(|| build_stable(&fixture.doc)));
+    group.bench_function("doc_index", |b| b.iter(|| DocIndex::build(&fixture.doc)));
+    group.bench_function("exact_twig_workload", |b| {
+        b.iter(|| {
+            fixture
+                .workload
+                .iter()
+                .filter_map(|q| evaluate(&fixture.doc, &fixture.index, q))
+                .count()
+        })
+    });
+    group.finish();
+
+    // ESD between structurally different mid-size documents.
+    let mut group = c.benchmark_group("micro_esd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let other = Fixture::new(Dataset::XMark, 8_000, 0);
+    group.bench_function("esd_documents_xmark", |b| {
+        b.iter(|| esd_documents(&fixture.doc, &other.doc, &EsdConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

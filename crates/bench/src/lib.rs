@@ -1,0 +1,82 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target corresponds to one paper table/figure (see
+//! DESIGN.md §5); fixtures are generated once per benchmark at a
+//! laptop-friendly scale and reused across measurements.
+
+use axqa_datagen::workload::{positive_workload, WorkloadConfig};
+use axqa_datagen::{generate, Dataset, GenConfig};
+use axqa_eval::{selectivity, DocIndex};
+use axqa_query::TwigQuery;
+use axqa_synopsis::{build_stable, StableSummary};
+use axqa_xml::Document;
+
+/// A prepared benchmark fixture.
+pub struct Fixture {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// The document.
+    pub doc: Document,
+    /// Its stable summary.
+    pub stable: StableSummary,
+    /// Evaluation index.
+    pub index: DocIndex,
+    /// Positive workload.
+    pub workload: Vec<TwigQuery>,
+    /// Exact counts for the workload.
+    pub exact: Vec<f64>,
+}
+
+impl Fixture {
+    /// Builds a fixture with `elements` elements and `queries` queries.
+    pub fn new(dataset: Dataset, elements: usize, queries: usize) -> Fixture {
+        let doc = generate(
+            dataset,
+            &GenConfig {
+                target_elements: elements,
+                seed: 0xBE7C4,
+            },
+        );
+        let stable = build_stable(&doc);
+        let index = DocIndex::build(&doc);
+        let workload = positive_workload(
+            &stable,
+            &WorkloadConfig {
+                count: queries,
+                seed: 0xBE7C4 ^ 1,
+                ..WorkloadConfig::default()
+            },
+        );
+        let exact = workload
+            .iter()
+            .map(|q| selectivity(&doc, &index, q))
+            .collect();
+        Fixture {
+            dataset,
+            doc,
+            stable,
+            index,
+            workload,
+            exact,
+        }
+    }
+
+    /// Exact-count pairs for driving the twig-XSketch builder.
+    pub fn build_workload(&self, count: usize) -> Vec<(TwigQuery, f64)> {
+        let queries = positive_workload(
+            &self.stable,
+            &WorkloadConfig {
+                count,
+                seed: 0xB111D,
+                ..WorkloadConfig::default()
+            },
+        );
+        queries
+            .into_iter()
+            .map(|q| {
+                let s = selectivity(&self.doc, &self.index, &q);
+                (q, s)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,562 @@
+//! `TSBUILD` and `CREATEPOOL` (§4.2, Figures 5 and 6).
+//!
+//! TSBUILD starts from the count-stable summary and greedily applies the
+//! merge with the best marginal-gain ratio `errd / sized` until the
+//! synopsis fits the space budget. The candidate pool is bounded (`Uh`)
+//! and regenerated whenever it drains below `Lh`; pool generation walks
+//! node depths bottom-up, mirroring the paper's observation that good
+//! merges happen near the leaves first.
+//!
+//! Deviations from the pseudo-code, both behavior-preserving:
+//!
+//! * Instead of eagerly re-evaluating `affected(h, m)` after each merge,
+//!   heap entries carry the stats *versions* of their two clusters and
+//!   are lazily re-evaluated (and re-inserted) when popped stale; merged
+//!   clusters forward to their successor, implementing the paper's
+//!   "replace `m'` by a merge with `u_m`" rule. Every applied merge is
+//!   therefore ranked by its *current* ratio, as in the paper.
+//! * Within one `(label, depth)` group, `CREATEPOOL` evaluates all pairs
+//!   only while the group is small; for large groups it sorts members by
+//!   a cheap structural key and proposes sliding-window neighbor pairs.
+//!   This keeps pool generation near-linear on documents whose stable
+//!   summaries have thousands of same-label classes (the paper's own
+//!   `Uh` bound plays the same cost-control role).
+
+use crate::cluster::ClusterState;
+use crate::sketch::TreeSketch;
+use axqa_synopsis::{SizeModel, StableSummary};
+use axqa_xml::fxhash::FxHashMap;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Tuning knobs of TSBUILD.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Target synopsis size in bytes (the paper's `S`).
+    pub budget_bytes: usize,
+    /// Max candidate-pool size (the paper's `Uh`; experiments use 10000).
+    pub heap_upper: usize,
+    /// Pool-regeneration threshold (the paper's `Lh`; experiments use 100).
+    pub heap_lower: usize,
+    /// Byte-accounting model.
+    pub size_model: SizeModel,
+    /// Groups up to this size get all-pairs candidates; larger groups use
+    /// the sorted sliding window.
+    pub group_all_pairs_cap: usize,
+    /// Window width for large groups.
+    pub window: usize,
+}
+
+impl BuildConfig {
+    /// The paper's experimental settings with the given byte budget.
+    pub fn with_budget(budget_bytes: usize) -> BuildConfig {
+        BuildConfig {
+            budget_bytes,
+            heap_upper: 10_000,
+            heap_lower: 100,
+            size_model: SizeModel::TREESKETCH,
+            group_all_pairs_cap: 48,
+            window: 4,
+        }
+    }
+}
+
+/// What TSBUILD did and produced.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The constructed synopsis.
+    pub sketch: TreeSketch,
+    /// Number of merges applied.
+    pub merges: usize,
+    /// Number of CREATEPOOL invocations.
+    pub pool_rebuilds: usize,
+    /// Whether the budget was reached (false ⇒ the label-split floor was
+    /// hit first).
+    pub reached_budget: bool,
+    /// Final size in bytes under the configured model.
+    pub final_bytes: usize,
+    /// Final squared error `sq(T S)`.
+    pub squared_error: f64,
+    /// Stable-class → sketch-node assignment (value layer, diagnostics).
+    pub stable_assignment: Vec<u32>,
+}
+
+/// Heap entry: a candidate merge with the metrics it was ranked by.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    ratio: f64,
+    a: u32,
+    b: u32,
+    version_a: u64,
+    version_b: u64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.ratio == other.ratio
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min ratio on top.
+        other
+            .ratio
+            .partial_cmp(&self.ratio)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// `TSBUILD` (Fig. 5): compress the stable summary of a document to
+/// `config.budget_bytes`.
+///
+/// ```
+/// use axqa_xml::parse_document;
+/// use axqa_synopsis::build_stable;
+/// use axqa_core::{ts_build, BuildConfig};
+///
+/// let doc = parse_document(
+///     "<r><b><c/></b><b><c/><c/><c/></b><b><c/></b></r>",
+/// ).unwrap();
+/// let stable = build_stable(&doc);
+/// // Compress below the exact size: similar b-classes merge.
+/// let report = ts_build(&stable, &BuildConfig::with_budget(48));
+/// assert!(report.merges >= 1);
+/// assert!(report.sketch.len() < stable.len());
+/// assert_eq!(report.sketch.total_elements(), doc.len() as u64);
+/// ```
+pub fn ts_build(stable: &StableSummary, config: &BuildConfig) -> BuildReport {
+    let mut state = ClusterState::new(stable, config.size_model);
+    ts_build_state(&mut state, config)
+}
+
+/// TSBUILD over a caller-provided state (lets tests inspect the state).
+pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> BuildReport {
+    let mut merges = 0usize;
+    let mut pool_rebuilds = 0usize;
+
+    while state.size_bytes() > config.budget_bytes {
+        let pool = create_pool(state, config);
+        pool_rebuilds += 1;
+        if pool.is_empty() {
+            break; // label-split floor: nothing left to merge
+        }
+        // Small pools are drained completely; big ones down to Lh.
+        let lower = if pool.len() > config.heap_lower {
+            config.heap_lower
+        } else {
+            0
+        };
+        let mut heap: BinaryHeap<Candidate> = pool.into();
+        let merges_before = merges;
+        while state.size_bytes() > config.budget_bytes && heap.len() > lower {
+            let Some(cand) = heap.pop() else { break };
+            let a = state.resolve(cand.a);
+            let b = state.resolve(cand.b);
+            if a == b {
+                continue; // both sides already merged together
+            }
+            let fresh = a == cand.a
+                && b == cand.b
+                && state.version_of(a) == cand.version_a
+                && state.version_of(b) == cand.version_b;
+            if !fresh {
+                // Re-rank with current metrics (the paper's replacement
+                // + affected-set recomputation, done lazily).
+                let delta = state.evaluate_merge(a, b);
+                heap.push(Candidate {
+                    ratio: delta.ratio(),
+                    a,
+                    b,
+                    version_a: state.version_of(a),
+                    version_b: state.version_of(b),
+                });
+                continue;
+            }
+            state.apply_merge(a, b);
+            merges += 1;
+        }
+        if merges == merges_before {
+            break; // pool yielded no applicable merge: avoid spinning
+        }
+    }
+
+    let final_bytes = state.size_bytes();
+    let (sketch, stable_assignment) = state.to_sketch_with_assignment();
+    BuildReport {
+        sketch,
+        merges,
+        pool_rebuilds,
+        reached_budget: final_bytes <= config.budget_bytes,
+        final_bytes,
+        squared_error: state.squared_error(),
+        stable_assignment,
+    }
+}
+
+/// Budget sweep: compresses once, snapshotting the synopsis at every
+/// requested budget. Equivalent to independent `ts_build` calls per
+/// budget (greedy merging is prefix-stable: the merges taken for a
+/// small budget extend those for a large one), but pays the
+/// construction cost once. Returns sketches aligned with the input
+/// order.
+pub fn ts_build_sweep(
+    stable: &StableSummary,
+    budgets: &[usize],
+    config: &BuildConfig,
+) -> Vec<TreeSketch> {
+    let mut order: Vec<usize> = (0..budgets.len()).collect();
+    order.sort_unstable_by(|&a, &b| budgets[b].cmp(&budgets[a])); // descending
+    let mut state = ClusterState::new(stable, config.size_model);
+    let mut out: Vec<Option<TreeSketch>> = vec![None; budgets.len()];
+    for index in order {
+        let mut step = config.clone();
+        step.budget_bytes = budgets[index];
+        let _ = ts_build_state(&mut state, &step);
+        out[index] = Some(state.to_sketch());
+    }
+    out.into_iter().map(|s| s.expect("every budget built")).collect()
+}
+
+/// `CREATEPOOL` (Fig. 6): bottom-up (by node depth) generation of at most
+/// `Uh` candidate merges, keeping the best ratios seen.
+fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate> {
+    // Group live clusters by label.
+    let mut by_label: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut max_depth = 0u32;
+    for id in state.alive_ids() {
+        let cluster = state.cluster(id);
+        by_label.entry(cluster.label.0).or_default().push(id);
+        max_depth = max_depth.max(cluster.depth);
+    }
+
+    // Worst-ratio-on-top heap keeping the best `Uh` candidates.
+    let mut best: BinaryHeap<WorstFirst> = BinaryHeap::new();
+    let push = |state: &ClusterState<'_>, best: &mut BinaryHeap<WorstFirst>, a: u32, b: u32| {
+        let delta = state.evaluate_merge(a, b);
+        let cand = Candidate {
+            ratio: delta.ratio(),
+            a,
+            b,
+            version_a: state.version_of(a),
+            version_b: state.version_of(b),
+        };
+        if best.len() < config.heap_upper {
+            best.push(WorstFirst(cand));
+        } else if let Some(top) = best.peek() {
+            if cand.ratio < top.0.ratio {
+                best.pop();
+                best.push(WorstFirst(cand));
+            }
+        }
+    };
+
+    for level in 0..=max_depth {
+        for group in by_label.values() {
+            // Pairs with max(depth) == level: one side at `level`, the
+            // other at ≤ `level`.
+            let at: Vec<u32> = group
+                .iter()
+                .copied()
+                .filter(|&id| state.cluster(id).depth == level)
+                .collect();
+            if at.is_empty() {
+                continue;
+            }
+            let below: Vec<u32> = group
+                .iter()
+                .copied()
+                .filter(|&id| state.cluster(id).depth < level)
+                .collect();
+            if at.len() + below.len() <= config.group_all_pairs_cap {
+                for (i, &a) in at.iter().enumerate() {
+                    for &b in &at[i + 1..] {
+                        push(state, &mut best, a, b);
+                    }
+                    for &b in &below {
+                        push(state, &mut best, a, b);
+                    }
+                }
+            } else {
+                // Large group: sort by a cheap structural key, pair
+                // within a sliding window.
+                let mut sorted: Vec<u32> = at.iter().chain(below.iter()).copied().collect();
+                sorted.sort_unstable_by_key(|&id| structural_key(state, id));
+                for (i, &a) in sorted.iter().enumerate() {
+                    for &b in sorted[i + 1..].iter().take(config.window) {
+                        // Skip pairs entirely below the level (they were
+                        // proposed at their own level).
+                        if state.cluster(a).depth.max(state.cluster(b).depth) == level {
+                            push(state, &mut best, a, b);
+                        }
+                    }
+                }
+            }
+        }
+        if best.len() >= config.heap_upper {
+            break; // pool full and level exhausted (paper's loop guard)
+        }
+    }
+    best.into_iter().map(|w| w.0).collect()
+}
+
+/// Cheap sort key grouping structurally similar clusters: first targets
+/// and rounded average counts.
+fn structural_key(state: &ClusterState<'_>, id: u32) -> [u64; 4] {
+    let cluster = state.cluster(id);
+    let n = cluster.elem_count as f64;
+    let mut key = [0u64; 4];
+    key[0] = cluster.stats.len() as u64;
+    for (slot, &(target, stat)) in cluster.stats.iter().take(3).enumerate() {
+        let avg = (stat.sum / n * 16.0).round().min(u32::MAX as f64) as u64;
+        key[slot + 1] = ((target as u64) << 32) | avg;
+    }
+    key
+}
+
+/// Max-heap wrapper: worst (largest) ratio on top, for the bounded pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WorstFirst(Candidate);
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .ratio
+            .partial_cmp(&other.0.ratio)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    fn t1_doc() -> axqa_xml::Document {
+        parse_document(
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+             <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_with_roomy_budget_keeps_stable_summary() {
+        let doc = t1_doc();
+        let stable = build_stable(&doc);
+        let exact_bytes =
+            SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let report = ts_build(&stable, &BuildConfig::with_budget(exact_bytes));
+        assert_eq!(report.merges, 0);
+        assert_eq!(report.sketch.len(), stable.len());
+        assert_eq!(report.squared_error, 0.0);
+        assert!(report.reached_budget);
+    }
+
+    #[test]
+    fn build_compresses_to_budget() {
+        let doc = t1_doc();
+        let stable = build_stable(&doc);
+        // Force merging the two b-classes: budget below the stable size.
+        let exact_bytes =
+            SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let report = ts_build(&stable, &BuildConfig::with_budget(exact_bytes - 1));
+        assert!(report.merges >= 1);
+        assert!(report.final_bytes < exact_bytes);
+        assert!(report.squared_error > 0.0);
+        assert_eq!(report.sketch.total_elements(), doc.len() as u64);
+    }
+
+    #[test]
+    fn floor_is_label_split_graph() {
+        let doc = t1_doc();
+        let stable = build_stable(&doc);
+        let report = ts_build(&stable, &BuildConfig::with_budget(1));
+        // 4 labels → 4 clusters; cannot go lower.
+        assert_eq!(report.sketch.len(), 4);
+        assert!(!report.reached_budget);
+        // Label-split of T1: b cluster holds both b classes; each element
+        // of b has avg (1+4)/2 = 2.5 children in c.
+        let b_label = doc.labels().get("b").unwrap();
+        let b = report
+            .sketch
+            .nodes_with_label(b_label)
+            .next()
+            .unwrap();
+        let b_node = report.sketch.node(b);
+        assert_eq!(b_node.count, 4);
+        assert_eq!(b_node.edges.len(), 1);
+        assert!((b_node.edges[0].1 - 2.5).abs() < 1e-9);
+        // sq error: 4 elements with counts {1,1,4,4} around 2.5 →
+        // Σ(c−2.5)² = 2·(1.5²)+2·(1.5²) = 9.
+        assert!((report.squared_error - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_order_prefers_cheap_merges() {
+        // Two near-identical b classes (counts 3 and 4) and one very
+        // different (count 50): the first merge must pair 3 with 4.
+        let mut src = String::from("<r>");
+        for k in [3usize, 4, 50] {
+            src.push_str("<a><b>");
+            src.push_str(&"<c/>".repeat(k));
+            src.push_str("</b></a>");
+        }
+        src.push_str("</r>");
+        let doc = parse_document(&src).unwrap();
+        let stable = build_stable(&doc);
+        let model = SizeModel::TREESKETCH;
+        let exact = model.graph_bytes(stable.len(), stable.num_edges());
+        // Budget that exactly one merge can satisfy.
+        let mut config = BuildConfig::with_budget(exact - 1);
+        config.size_model = model;
+        let report = ts_build(&stable, &config);
+        assert_eq!(report.merges, 1);
+        // sq error of merging {3,4}: mean 3.5, Σ = 0.25+0.25 = 0.5 per
+        // element... elements: one each → 0.5. Merging {3,50} or {4,50}
+        // would cost ≥ 1000. Also the parent a-classes merge error.
+        assert!(report.squared_error < 10.0, "err={}", report.squared_error);
+    }
+
+    #[test]
+    fn state_invariants_hold_through_building() {
+        let doc = parse_document(
+            "<r><a><b/><b/><c/></a><a><b/><c/><c/></a><a><b/><b/><b/></a>\
+             <d><a><b/></a></d><d><a><c/></a></d></r>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
+        let config = BuildConfig::with_budget(1);
+        let _ = ts_build_state(&mut state, &config);
+        state.verify().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn sweep_matches_independent_builds() {
+        let doc = parse_document(
+            "<r><a><b/><b/><c/></a><a><b/><c/><c/></a><a><b/><b/><b/></a>\
+             <a><c/></a><d><a><b/></a></d><d><a><c/><c/></a></d></r>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let budgets = [exact / 2, exact * 3 / 4, exact / 4];
+        let sweep = ts_build_sweep(&stable, &budgets, &BuildConfig::with_budget(0));
+        for (&budget, swept) in budgets.iter().zip(&sweep) {
+            let independent = ts_build(&stable, &BuildConfig::with_budget(budget)).sketch;
+            assert_eq!(swept.len(), independent.len(), "budget {budget}");
+            assert_eq!(swept.num_edges(), independent.num_edges());
+            assert!(
+                (swept.squared_error() - independent.squared_error()).abs()
+                    < 1e-6 * independent.squared_error().max(1.0),
+                "budget {budget}: sweep err {} vs independent {}",
+                swept.squared_error(),
+                independent.squared_error()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let doc = parse_document("<r><a><b/></a><a><b/><b/></a><a><b/><b/><b/></a></r>").unwrap();
+        let stable = build_stable(&doc);
+        // Unsorted budgets: results must align with the inputs.
+        let budgets = [64usize, 512, 128];
+        let sweep = ts_build_sweep(&stable, &budgets, &BuildConfig::with_budget(0));
+        assert_eq!(sweep.len(), 3);
+        let model = SizeModel::TREESKETCH;
+        assert!(sweep[1].size_bytes(&model) >= sweep[2].size_bytes(&model));
+        assert!(sweep[2].size_bytes(&model) >= sweep[0].size_bytes(&model));
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    /// A document with many same-label classes (distinct keyword counts).
+    fn wide_doc() -> axqa_xml::Document {
+        let mut src = String::from("<r>");
+        for k in 1..=30 {
+            src.push_str("<p>");
+            src.push_str(&"<k/>".repeat(k));
+            src.push_str("</p>");
+        }
+        src.push_str("</r>");
+        parse_document(&src).unwrap()
+    }
+
+    #[test]
+    fn heap_upper_bound_is_respected() {
+        let doc = wide_doc();
+        let stable = build_stable(&doc);
+        let mut config = BuildConfig::with_budget(1);
+        config.heap_upper = 5;
+        config.heap_lower = 1;
+        // Must still reach the label-split floor despite the tiny pool.
+        let report = ts_build(&stable, &config);
+        assert_eq!(report.sketch.len(), doc.labels().len());
+    }
+
+    #[test]
+    fn windowed_and_all_pairs_reach_the_same_floor() {
+        let doc = wide_doc();
+        let stable = build_stable(&doc);
+        let mut windowed = BuildConfig::with_budget(1);
+        windowed.group_all_pairs_cap = 4;
+        windowed.window = 2;
+        let mut all_pairs = BuildConfig::with_budget(1);
+        all_pairs.group_all_pairs_cap = usize::MAX;
+        let a = ts_build(&stable, &windowed);
+        let b = ts_build(&stable, &all_pairs);
+        assert_eq!(a.sketch.len(), b.sketch.len());
+        // Full compression is partition-identical (label-split), so the
+        // squared errors agree exactly.
+        assert!((a.squared_error - b.squared_error).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_pairs_never_loses_to_window_at_midrange_budgets() {
+        let doc = wide_doc();
+        let stable = build_stable(&doc);
+        let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let budget = exact / 2;
+        let mut windowed = BuildConfig::with_budget(budget);
+        windowed.group_all_pairs_cap = 4;
+        windowed.window = 2;
+        let mut all_pairs = BuildConfig::with_budget(budget);
+        all_pairs.group_all_pairs_cap = usize::MAX;
+        let w = ts_build(&stable, &windowed);
+        let a = ts_build(&stable, &all_pairs);
+        // The exhaustive pool sees every candidate the window sees, so at
+        // matched size its greedy result should not be (much) worse; the
+        // window may pay a small quality price for its speed.
+        assert!(
+            a.squared_error <= w.squared_error * 1.5 + 1e-9,
+            "all-pairs {} vs windowed {}",
+            a.squared_error,
+            w.squared_error
+        );
+    }
+}

@@ -1,0 +1,601 @@
+//! `EVALQUERY` and `EVALEMBED` (§4.3, Figures 7 and 8): approximate twig
+//! answering over a TreeSketch.
+//!
+//! The algorithm processes query variables top-down. For every binding
+//! node `uQ(u, q)` and child variable `qc` it enumerates the *embeddings*
+//! of the main path of `path(q, qc)` in the synopsis starting from `u`,
+//! estimates the per-element descendant count of each embedding as the
+//! product of the traversed average edge counts, scales by the branch
+//! predicates' selectivities, and aggregates counts per endpoint
+//! (Fig. 7, lines 4–13). Branch selectivity uses the inclusion–exclusion
+//! principle over per-embedding-endpoint fractions: with independence,
+//! `s = 1 − Π(1 − k_l)` — the closed form of the paper's line 11 — and
+//! `s = 1` as soon as some endpoint count reaches 1 (lines 8–9).
+//!
+//! Compressed synopses can be cyclic (recursive markup merged into one
+//! cluster), so descendant-axis enumeration is bounded by a path-length
+//! cap (defaulting to the synopsis height, the longest real downward
+//! path) and prunes embeddings whose accumulated count drops below a
+//! small ε (DESIGN.md §4.3).
+
+use crate::sketch::{TreeSketch, TsNodeId};
+use axqa_query::{Axis, QVar, ResolvedPath, ResolvedStep, TwigQuery};
+use axqa_xml::fxhash::FxHashMap;
+use axqa_xml::{LabelId, LabelTable};
+
+/// Evaluation knobs.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Max synopsis edges a single descendant step may traverse; `None`
+    /// uses the synopsis height + 1.
+    pub max_descendant_depth: Option<u32>,
+    /// Embeddings whose accumulated count falls below this are pruned.
+    pub epsilon: f64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_descendant_depth: None,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// One node of a result sketch: elements of TreeSketch node `ts` bound to
+/// query variable `var`.
+#[derive(Debug, Clone)]
+pub struct RNode {
+    /// Source synopsis node.
+    pub ts: TsNodeId,
+    /// Query variable the elements bind to.
+    pub var: QVar,
+    /// Label (copied from the synopsis node).
+    pub label: LabelId,
+    /// Estimated number of bindings (extent of this result node).
+    pub ext: f64,
+    /// Outgoing edges `(result node, average descendant count)`.
+    pub edges: Vec<(u32, f64)>,
+}
+
+/// The result TreeSketch `T S_Q`: a synopsis of the nesting tree.
+///
+/// Nodes are keyed by `(synopsis node, query variable)` — at most
+/// `O(|T S| · |Q|)` of them (§4.3) — and form a DAG because variables
+/// strictly deepen along edges.
+#[derive(Debug, Clone)]
+pub struct ResultSketch {
+    labels: LabelTable,
+    nodes: Vec<RNode>,
+    /// `bind[q]` — result nodes holding bindings of each variable.
+    by_var: Vec<Vec<u32>>,
+}
+
+impl ResultSketch {
+    /// The root binding `(root cluster, q0)`.
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// All result nodes (index 0 is the root).
+    pub fn nodes(&self) -> &[RNode] {
+        &self.nodes
+    }
+
+    /// Result nodes binding `var`.
+    pub fn bindings(&self, var: QVar) -> &[u32] {
+        &self.by_var[var.index()]
+    }
+
+    /// The label table (shared vocabulary with the synopsis).
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Estimated total bindings of `var` (Σ ext over its nodes).
+    pub fn estimated_bindings(&self, var: QVar) -> f64 {
+        self.by_var[var.index()]
+            .iter()
+            .map(|&i| self.nodes[i as usize].ext)
+            .sum()
+    }
+
+    /// Renders the sketch readably for tests and examples.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "r{} {}({:.3}) {}",
+                i,
+                self.labels.name(node.label),
+                node.ext,
+                node.var
+            );
+            for &(t, k) in &node.edges {
+                let _ = write!(out, " -{k:.3}-> r{t}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// `EVALQUERY` (Fig. 7): evaluates `query` over `sketch`, returning the
+/// result sketch, or `None` when a required variable ends up with no
+/// bindings (lines 15–16: the approximate answer is empty).
+///
+/// ```
+/// use axqa_xml::parse_document;
+/// use axqa_synopsis::build_stable;
+/// use axqa_core::{eval_query, EvalConfig, TreeSketch};
+/// use axqa_query::{parse_twig, QVar};
+///
+/// let doc = parse_document("<r><a><k/></a><a><k/><k/></a></r>").unwrap();
+/// let sketch = TreeSketch::from_stable(&build_stable(&doc));
+/// let query = parse_twig("q1: q0 //a\nq2: q1 /k").unwrap();
+/// let result = eval_query(&sketch, &query, &EvalConfig::default()).unwrap();
+/// assert_eq!(result.estimated_bindings(QVar(2)), 3.0); // exact on stable
+/// ```
+pub fn eval_query(
+    sketch: &TreeSketch,
+    query: &TwigQuery,
+    config: &EvalConfig,
+) -> Option<ResultSketch> {
+    eval_query_with_values(sketch, query, config, None)
+}
+
+/// [`eval_query`] with a value layer: steps carrying value predicates
+/// (`[. > c]`) are scaled by the endpoint cluster's value selectivity.
+/// Without a [`ValueIndex`] value predicates are ignored (structural
+/// upper bound).
+pub fn eval_query_with_values(
+    sketch: &TreeSketch,
+    query: &TwigQuery,
+    config: &EvalConfig,
+    values: Option<&crate::values::ValueIndex>,
+) -> Option<ResultSketch> {
+    let labels = sketch.labels();
+    let resolved: Vec<ResolvedPath> = query
+        .vars()
+        .skip(1)
+        .map(|v| query.node(v).path.resolve(labels))
+        .collect();
+    let max_depth = config
+        .max_descendant_depth
+        .unwrap_or_else(|| sketch.height() + 1);
+    let walker = Walker {
+        sketch,
+        epsilon: config.epsilon,
+        max_depth,
+        values,
+    };
+
+    let mut nodes: Vec<RNode> = vec![RNode {
+        ts: sketch.root(),
+        var: QVar::ROOT,
+        label: sketch.node(sketch.root()).label,
+        ext: 1.0,
+        edges: Vec::new(),
+    }];
+    let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); query.num_vars()];
+    by_var[0].push(0);
+    let mut node_index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    node_index.insert((sketch.root().0, 0), 0);
+
+    // Pre-order over variables: numeric order is parent-before-child.
+    for var in query.vars() {
+        for qc in query.children(var) {
+            let path = &resolved[qc.index() - 1];
+            let bind = by_var[var.index()].clone();
+            for uq in bind {
+                let context = nodes[uq as usize].ts;
+                let counts = walker.path_counts(context, &path.steps);
+                let src_ext = nodes[uq as usize].ext;
+                let mut sorted: Vec<(TsNodeId, f64)> = counts.into_iter().collect();
+                sorted.sort_unstable_by_key(|&(v, _)| v);
+                for (v, k) in sorted {
+                    if k <= config.epsilon {
+                        continue;
+                    }
+                    let key = (v.0, qc.0);
+                    let vq = match node_index.get(&key) {
+                        Some(&vq) => vq,
+                        None => {
+                            let vq = nodes.len() as u32;
+                            nodes.push(RNode {
+                                ts: v,
+                                var: qc,
+                                label: sketch.node(v).label,
+                                ext: 0.0,
+                                edges: Vec::new(),
+                            });
+                            node_index.insert(key, vq);
+                            by_var[qc.index()].push(vq);
+                            vq
+                        }
+                    };
+                    nodes[vq as usize].ext += src_ext * k;
+                    // count(uQ, vQ) += k (Fig. 7 line 12).
+                    let edges = &mut nodes[uq as usize].edges;
+                    match edges.iter_mut().find(|(t, _)| *t == vq) {
+                        Some((_, c)) => *c += k,
+                        None => edges.push((vq, k)),
+                    }
+                }
+            }
+        }
+    }
+
+    // Lines 15–16 generalized: prune result nodes that contribute no
+    // complete binding tuple (a binding with no match for some required
+    // child variable). On a count-stable synopsis classes are
+    // homogeneous, so this reproduces the exact nesting tree's
+    // bottom-up pruning; the paper's global emptiness check is the
+    // root-level special case.
+    let mut keep = vec![true; nodes.len()];
+    for i in (0..nodes.len()).rev() {
+        let node = &nodes[i];
+        for qc in query.children(node.var) {
+            if query.node(qc).optional {
+                continue;
+            }
+            let mass: f64 = node
+                .edges
+                .iter()
+                .filter(|&&(t, _)| nodes[t as usize].var == qc && keep[t as usize])
+                .map(|&(_, k)| k)
+                .sum();
+            if mass <= config.epsilon {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    if !keep[0] {
+        return None;
+    }
+    // Compact: keep only nodes that survive pruning *and* stay
+    // reachable from the root through surviving nodes (a survivor can
+    // hang under a pruned ancestor). Nodes are parent-before-child and
+    // edges point forward, so one forward pass settles reachability.
+    let mut alive = vec![false; nodes.len()];
+    alive[0] = true;
+    for i in 0..nodes.len() {
+        if !alive[i] {
+            continue;
+        }
+        for &(t, _) in &nodes[i].edges {
+            if keep[t as usize] {
+                alive[t as usize] = true;
+            }
+        }
+    }
+    let mut remap = vec![u32::MAX; nodes.len()];
+    let mut compact: Vec<RNode> = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if !alive[i] {
+            continue;
+        }
+        remap[i] = compact.len() as u32;
+        compact.push(RNode {
+            ts: node.ts,
+            var: node.var,
+            label: node.label,
+            ext: 0.0,
+            edges: node
+                .edges
+                .iter()
+                .filter(|&&(t, _)| alive[t as usize])
+                .map(|&(t, k)| (t, k))
+                .collect(),
+        });
+    }
+    for node in &mut compact {
+        for (t, _) in &mut node.edges {
+            *t = remap[*t as usize];
+        }
+    }
+    // Recompute binding extents top-down over the pruned graph.
+    compact[0].ext = 1.0;
+    for i in 0..compact.len() {
+        let (ext, edges) = (compact[i].ext, compact[i].edges.clone());
+        for (t, k) in edges {
+            compact[t as usize].ext += ext * k;
+        }
+    }
+    let mut final_by_var: Vec<Vec<u32>> = vec![Vec::new(); query.num_vars()];
+    for (i, node) in compact.iter().enumerate() {
+        final_by_var[node.var.index()].push(i as u32);
+    }
+    for var in query.vars().skip(1) {
+        if query.effectively_required(var) && final_by_var[var.index()].is_empty() {
+            return None;
+        }
+    }
+
+    Some(ResultSketch {
+        labels: labels.clone(),
+        nodes: compact,
+        by_var: final_by_var,
+    })
+}
+
+/// Path walker implementing `EVALEMBED` aggregation.
+struct Walker<'a> {
+    sketch: &'a TreeSketch,
+    epsilon: f64,
+    max_depth: u32,
+    values: Option<&'a crate::values::ValueIndex>,
+}
+
+impl Walker<'_> {
+    /// Per-endpoint descendant counts of `steps` from `from`: the
+    /// aggregation of `EVALEMBED` over all embeddings, keyed by the final
+    /// embedding node (Fig. 7 lines 5–8).
+    fn path_counts(&self, from: TsNodeId, steps: &[ResolvedStep]) -> FxHashMap<TsNodeId, f64> {
+        let mut out: FxHashMap<TsNodeId, f64> = FxHashMap::default();
+        self.walk(from, steps, 1.0, &mut out);
+        out
+    }
+
+    fn walk(
+        &self,
+        node: TsNodeId,
+        steps: &[ResolvedStep],
+        acc: f64,
+        out: &mut FxHashMap<TsNodeId, f64>,
+    ) {
+        let Some((step, rest)) = steps.split_first() else {
+            *out.entry(node).or_insert(0.0) += acc;
+            return;
+        };
+        let Some(label) = step.label else {
+            return; // label absent from the document: no embedding
+        };
+        match step.axis {
+            Axis::Child => {
+                for &(v, c) in &self.sketch.node(node).edges {
+                    if self.sketch.node(v).label != label {
+                        continue;
+                    }
+                    let scaled = acc * c * self.step_selectivity(v, step);
+                    if scaled > self.epsilon {
+                        self.walk(v, rest, scaled, out);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                self.descend(node, step, label, rest, acc, self.max_depth, out);
+            }
+        }
+    }
+
+    /// Depth-bounded DFS over descendant embeddings: every path of ≥ 1
+    /// synopsis edges ending at `label` is an embedding of the step.
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        node: TsNodeId,
+        step: &ResolvedStep,
+        label: axqa_xml::LabelId,
+        rest: &[ResolvedStep],
+        acc: f64,
+        depth_left: u32,
+        out: &mut FxHashMap<TsNodeId, f64>,
+    ) {
+        if depth_left == 0 {
+            return;
+        }
+        for &(v, c) in &self.sketch.node(node).edges {
+            let scaled = acc * c;
+            if scaled <= self.epsilon {
+                continue;
+            }
+            if self.sketch.node(v).label == label {
+                let here = scaled * self.step_selectivity(v, step);
+                if here > self.epsilon {
+                    self.walk(v, rest, here, out);
+                }
+            }
+            self.descend(v, step, label, rest, scaled, depth_left - 1, out);
+        }
+    }
+
+    /// Product of the step's branch selectivities at `node` (independence
+    /// across predicates, §4.3).
+    fn step_selectivity(&self, node: TsNodeId, step: &ResolvedStep) -> f64 {
+        let mut s = 1.0;
+        if !step.value_preds.is_empty() {
+            if let Some(values) = self.values {
+                s *= values.selectivity(node, &step.value_preds);
+                if s <= self.epsilon {
+                    return 0.0;
+                }
+            }
+        }
+        for predicate in &step.predicates {
+            s *= self.branch_selectivity(node, predicate);
+            if s <= self.epsilon {
+                return 0.0;
+            }
+        }
+        s
+    }
+
+    /// `EVALEMBED` lines 2–13: selectivity of one branching predicate at
+    /// `node`.
+    fn branch_selectivity(&self, node: TsNodeId, predicate: &ResolvedPath) -> f64 {
+        let counts = self.path_counts(node, &predicate.steps);
+        if counts.is_empty() {
+            return 0.0;
+        }
+        if counts.values().any(|&k| k >= 1.0) {
+            return 1.0; // lines 8–9: some embedding guarantees a match
+        }
+        // Line 11: inclusion–exclusion over independent per-endpoint
+        // fractions = 1 − Π(1 − k_l).
+        let miss: f64 = counts.values().map(|&k| 1.0 - k.clamp(0.0, 1.0)).product();
+        (1.0 - miss).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{TreeSketch, TsNode};
+    use axqa_query::parse_twig;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::{parse_document, LabelTable};
+
+    /// Hand-builds the synopsis of the paper's Figure 9(b):
+    ///
+    /// ```text
+    /// r(1) -10-> A; A -5-> B, -0.2-> E, -2-> D;
+    /// D -0.5-> F, -0.6-> G1, -0.7-> G2; F -1.5-> C; B -2-> F
+    /// ```
+    fn figure9_sketch() -> TreeSketch {
+        let mut labels = LabelTable::new();
+        let l = |labels: &mut LabelTable, s: &str| labels.intern(s);
+        let (lr, la, lb, le, ld, lf, lg, lc) = (
+            l(&mut labels, "r"),
+            l(&mut labels, "a"),
+            l(&mut labels, "b"),
+            l(&mut labels, "e"),
+            l(&mut labels, "d"),
+            l(&mut labels, "f"),
+            l(&mut labels, "g"),
+            l(&mut labels, "c"),
+        );
+        // ids: 0 r, 1 A, 2 B, 3 E, 4 D, 5 F, 6 G1, 7 G2, 8 C
+        let n = |label, count, edges: Vec<(u32, f64)>, depth| TsNode {
+            label,
+            count,
+            edges: edges.into_iter().map(|(t, c)| (TsNodeId(t), c)).collect(),
+            depth,
+        };
+        let nodes = vec![
+            n(lr, 1, vec![(1, 10.0)], 4),
+            n(la, 10, vec![(2, 5.0), (3, 0.2), (4, 2.0)], 3),
+            n(lb, 50, vec![(5, 2.0)], 2),
+            n(le, 2, vec![(5, 5.0)], 2),
+            n(ld, 20, vec![(5, 0.5), (6, 0.6), (7, 0.7)], 2),
+            n(lf, 100, vec![(8, 1.5)], 1),
+            n(lg, 12, vec![], 0),
+            n(lg, 14, vec![], 0),
+            n(lc, 150, vec![], 0),
+        ];
+        TreeSketch::from_parts(labels, nodes, TsNodeId(0), 0.0)
+    }
+
+    #[test]
+    fn figure9_walkthrough() {
+        let ts = figure9_sketch();
+        // q1: //a ; q3: q1 d[/g]//f  (Example 4.1's numbers).
+        let query = parse_twig("q1: q0 //a\nq2: q1 /d[/g]//f").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        // rQ -10-> AQ.
+        let root = &result.nodes()[result.root() as usize];
+        assert_eq!(root.edges.len(), 1);
+        assert!((root.edges[0].1 - 10.0).abs() < 1e-9);
+        let aq = &result.nodes()[root.edges[0].0 as usize];
+        assert_eq!(result.labels().name(aq.label), "a");
+        assert!((aq.ext - 10.0).abs() < 1e-9);
+        // Example 4.1: nt = 2·0.5 = 1; branch [/g]: embeddings G1 (0.6)
+        // and G2 (0.7) → s = 0.6+0.7−0.42 = 0.88; count = 0.88.
+        let fq_edge = aq
+            .edges
+            .iter()
+            .find(|&&(t, _)| result.labels().name(result.nodes()[t as usize].label) == "f")
+            .expect("edge to f bindings");
+        assert!((fq_edge.1 - 0.88).abs() < 1e-9, "got {}", fq_edge.1);
+    }
+
+    #[test]
+    fn branch_count_ge_one_saturates_selectivity() {
+        let ts = figure9_sketch();
+        // [//f] from d: embeddings: d/f with count 0.5 → but also no
+        // other f path; 0.5 < 1 → selectivity 0.5. [/g] from a? none.
+        // Use //b[//f]: from B count to F is 2 ≥ 1 → selectivity 1.
+        let query = parse_twig("q1: q0 //b[//f]").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let root = &result.nodes()[0];
+        // //b from r: r→a→b product 10·5 = 50.
+        assert!((root.edges[0].1 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descendant_axis_sums_over_paths() {
+        let ts = figure9_sketch();
+        // //f from root: embeddings r/a/b/f (10·5·2 = 100),
+        // r/a/e/f (10·0.2·5 = 10), r/a/d/f (10·2·0.5 = 10) → 120 into F.
+        let query = parse_twig("q1: q0 //f").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let root = &result.nodes()[0];
+        assert_eq!(root.edges.len(), 1);
+        assert!((root.edges[0].1 - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_empty_binding_empties_answer() {
+        let ts = figure9_sketch();
+        let query = parse_twig("q1: q0 //zzz").unwrap();
+        assert!(eval_query(&ts, &query, &EvalConfig::default()).is_none());
+        let optional = parse_twig("q1: q0 //a\nq2: q1 ? //zzz").unwrap();
+        assert!(eval_query(&ts, &optional, &EvalConfig::default()).is_some());
+    }
+
+    #[test]
+    fn exact_on_stable_synopsis() {
+        // On an uncompressed (count-stable) synopsis the estimates are
+        // exact: compare bindings against the exact evaluator.
+        let doc = parse_document(
+            "<d><a><p><k/></p><p><k/><k/></p><n/></a>\
+             <a><n/><p><k/></p><b><t/></b></a></d>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let ts = TreeSketch::from_stable(&stable);
+        let query = parse_twig("q1: q0 //a[//b]\nq2: q1 //p\nq3: q2 //k").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        use axqa_eval::{evaluate, DocIndex};
+        let index = DocIndex::build(&doc);
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        for var in [QVar(1), QVar(2), QVar(3)] {
+            let exact = nt.bindings(var).len() as f64;
+            let approx = result.estimated_bindings(var);
+            assert!(
+                (exact - approx).abs() < 1e-9,
+                "{var}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_synopsis_terminates() {
+        // A self-loop with count > 1 would diverge without the depth cap.
+        let mut labels = LabelTable::new();
+        let lr = labels.intern("r");
+        let ll = labels.intern("l");
+        let nodes = vec![
+            TsNode {
+                label: lr,
+                count: 1,
+                edges: vec![(TsNodeId(1), 2.0)],
+                depth: 5,
+            },
+            TsNode {
+                label: ll,
+                count: 10,
+                edges: vec![(TsNodeId(1), 1.5)],
+                depth: 4,
+            },
+        ];
+        let ts = TreeSketch::from_parts(labels, nodes, TsNodeId(0), 1.0);
+        let query = parse_twig("q1: q0 //l").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let total = result.estimated_bindings(QVar(1));
+        assert!(total.is_finite() && total > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Expanding a result sketch into a concrete answer tree.
+//!
+//! §4.3: "the full nesting tree can be retrieved by expanding `T S_Q`".
+//! A result sketch stores *average* descendant counts, so expansion must
+//! turn fractional averages into integer child counts. We use
+//! deterministic largest-remainder rounding: one running remainder
+//! accumulator per result-sketch edge, so across all materialized
+//! parents the total number of children matches `parents × avg` to
+//! within one — preserving aggregate counts without randomness.
+//!
+//! Expansion of a highly compressed synopsis can blow up (counts
+//! multiply down the tree), so a node cap truncates generation
+//! breadth-first; [`Expansion::truncated`] reports whether the cap hit.
+
+use crate::eval::ResultSketch;
+use axqa_eval::AnswerTree;
+use std::collections::VecDeque;
+
+/// Result of expanding a result sketch.
+pub struct Expansion {
+    /// The materialized answer tree.
+    pub tree: AnswerTree,
+    /// Whether the node cap stopped expansion early.
+    pub truncated: bool,
+}
+
+/// Expands `result` into a concrete answer tree with at most `max_nodes`
+/// binding nodes.
+pub fn expand_result(result: &ResultSketch, max_nodes: usize) -> Expansion {
+    let rnodes = result.nodes();
+    let root = result.root() as usize;
+    let mut tree = AnswerTree::new(result.labels().clone(), rnodes[root].label);
+    // Remainder accumulator per (result node, edge index).
+    let mut remainders: Vec<Vec<f64>> = rnodes
+        .iter()
+        .map(|n| vec![0.0f64; n.edges.len()])
+        .collect();
+    let mut queue: VecDeque<(u32, u32)> = VecDeque::new(); // (answer node, rnode)
+    queue.push_back((tree.root(), root as u32));
+    let mut truncated = false;
+
+    while let Some((answer_parent, rnode)) = queue.pop_front() {
+        let edges = rnodes[rnode as usize].edges.clone();
+        for (edge_index, (target, avg)) in edges.into_iter().enumerate() {
+            // Largest-remainder rounding across all parents of this edge.
+            let slot = &mut remainders[rnode as usize][edge_index];
+            *slot += avg;
+            let emit = slot.floor().max(0.0) as usize;
+            *slot -= emit as f64;
+            for _ in 0..emit {
+                if tree.len() >= max_nodes {
+                    truncated = true;
+                    break;
+                }
+                let child = tree.add(
+                    answer_parent,
+                    rnodes[target as usize].label,
+                    rnodes[target as usize].var,
+                );
+                queue.push_back((child, target));
+            }
+            if truncated {
+                break;
+            }
+        }
+        if truncated {
+            break;
+        }
+    }
+    Expansion { tree, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_query, EvalConfig};
+    use crate::sketch::TreeSketch;
+    use axqa_query::{parse_twig, QVar};
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn exact_sketch_expands_to_exact_nesting_tree() {
+        let doc = parse_document(
+            "<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>",
+        )
+        .unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let expansion = expand_result(&result, 100_000);
+        assert!(!expansion.truncated);
+        // Exact nesting tree: root + 3 a + 3 p + 4 k = 11 nodes.
+        assert_eq!(expansion.tree.len(), 11);
+        let q3_count = expansion
+            .tree
+            .nodes()
+            .iter()
+            .filter(|n| n.var == QVar(3))
+            .count();
+        assert_eq!(q3_count, 4);
+    }
+
+    #[test]
+    fn fractional_averages_round_to_matching_totals() {
+        // 4 b's averaging 2.5 c's each → 10 c's total after rounding.
+        let doc = parse_document(
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+             <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let ts = crate::build::ts_build(&stable, &crate::build::BuildConfig::with_budget(1))
+            .sketch;
+        let query = parse_twig("q1: q0 //b\nq2: q1 /c").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let expansion = expand_result(&result, 100_000);
+        assert!(!expansion.truncated);
+        let c_count = expansion
+            .tree
+            .nodes()
+            .iter()
+            .filter(|n| n.var == QVar(2))
+            .count();
+        assert_eq!(c_count, 10);
+    }
+
+    #[test]
+    fn cap_truncates_gracefully() {
+        let doc = parse_document("<r><a><b/><b/><b/><b/><b/><b/></a></r>").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let query = parse_twig("q1: q0 //b").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let expansion = expand_result(&result, 3);
+        assert!(expansion.truncated);
+        assert!(expansion.tree.len() <= 3);
+    }
+}

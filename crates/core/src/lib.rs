@@ -1,0 +1,43 @@
+//! # axqa-core — TreeSketch synopses (the paper's contribution)
+//!
+//! A TreeSketch (§3.2, Definition 3.2) is a graph synopsis whose nodes
+//! carry element counts and whose edges carry **average** child counts;
+//! it approximates the unique count-stable summary of a document within a
+//! space budget. This crate implements the full TreeSketch life cycle:
+//!
+//! * [`TreeSketch`] — the synopsis data structure, with the paper's
+//!   clustering interpretation (every node is a cluster of elements whose
+//!   per-target child-count vectors are collapsed to their centroid) and
+//!   squared-error quality metric.
+//! * [`cluster`] — the mutable clustering state over a count-stable
+//!   skeleton that construction algorithms manipulate: incremental
+//!   sufficient statistics (per-edge sums and sums of squares, §4.2) with
+//!   exact cross-term maintenance via the stable skeleton.
+//! * [`build`] — `TSBUILD` + `CREATEPOOL` (Figures 5, 6): bottom-up
+//!   greedy merging ranked by marginal gain `errd/sized`, with a bounded
+//!   candidate pool regenerated between rounds.
+//! * [`topdown`] — the top-down split-based ablation §4.2 argues against.
+//! * [`eval`] — `EVALQUERY` + `EVALEMBED` (Figures 7, 8): approximate
+//!   twig answering producing a [`eval::ResultSketch`] that summarizes
+//!   the nesting tree, with inclusion–exclusion branch selectivities.
+//! * [`selectivity`] — the §4.4 estimator: one post-order pass over the
+//!   result sketch yielding the expected number of binding tuples.
+
+pub mod build;
+pub mod cluster;
+pub mod eval;
+pub mod expand;
+pub mod io;
+pub mod selectivity;
+pub mod sketch;
+pub mod topdown;
+pub mod values;
+
+pub use build::{ts_build, BuildConfig, BuildReport};
+pub use cluster::ClusterState;
+pub use eval::{eval_query, eval_query_with_values, EvalConfig, ResultSketch};
+pub use expand::{expand_result, Expansion};
+pub use selectivity::estimate_selectivity;
+pub use sketch::{TreeSketch, TsNodeId};
+pub use topdown::topdown_build;
+pub use values::{ValueIndex, ValueSummary};

@@ -1,0 +1,125 @@
+//! Selectivity estimation over result sketches (§4.4).
+//!
+//! One bottom-up pass over the result TreeSketch computes, per result
+//! node, the average number of binding tuples contributed by each of its
+//! elements: a required child variable multiplies by the sum of
+//! `count(uQ, vQ) · tuples(vQ)` over the variable's edges, an optional
+//! one by `max(sum, 1)` — matching the exact counting semantics of
+//! `axqa_eval::NestingTree::binding_tuples`. The estimate is the root's
+//! value (the root binds exactly the document root).
+
+use crate::eval::ResultSketch;
+use axqa_query::TwigQuery;
+
+/// Estimated number of binding tuples of the query summarized by
+/// `result`.
+pub fn estimate_selectivity(result: &ResultSketch, query: &TwigQuery) -> f64 {
+    let nodes = result.nodes();
+    let mut tuples = vec![0.0f64; nodes.len()];
+    // Result nodes are created parents-first, so a reverse scan is
+    // bottom-up (edges always point to later nodes).
+    for i in (0..nodes.len()).rev() {
+        let node = &nodes[i];
+        let mut product = 1.0f64;
+        for qc in query.children(node.var) {
+            let sum: f64 = node
+                .edges
+                .iter()
+                .filter(|&&(t, _)| nodes[t as usize].var == qc)
+                .map(|&(t, k)| k * tuples[t as usize])
+                .sum();
+            product *= if query.node(qc).optional {
+                sum.max(1.0)
+            } else {
+                sum
+            };
+        }
+        tuples[i] = product;
+    }
+    tuples[result.root() as usize]
+}
+
+/// Convenience: evaluate + estimate in one call; 0.0 for empty answers.
+pub fn estimate_query_selectivity(
+    sketch: &crate::sketch::TreeSketch,
+    query: &TwigQuery,
+    config: &crate::eval::EvalConfig,
+) -> f64 {
+    match crate::eval::eval_query(sketch, query, config) {
+        Some(result) => estimate_selectivity(&result, query),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_query, EvalConfig};
+    use crate::sketch::TreeSketch;
+    use axqa_eval::{selectivity as exact_selectivity, DocIndex};
+    use axqa_query::parse_twig;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    fn check_exact(src: &str, twig: &str) {
+        let doc = parse_document(src).unwrap();
+        let index = DocIndex::build(&doc);
+        let query = parse_twig(twig).unwrap();
+        let exact = exact_selectivity(&doc, &index, &query);
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let estimate = estimate_query_selectivity(&ts, &query, &EvalConfig::default());
+        assert!(
+            (exact - estimate).abs() < 1e-9 * exact.max(1.0),
+            "{twig}: exact {exact} vs estimate {estimate}"
+        );
+    }
+
+    #[test]
+    fn exact_on_stable_synopses() {
+        let doc = "<d><a><p><k/></p><p><k/><k/></p><n/></a>\
+                   <a><n/><p><k/></p><b><t/></b></a>\
+                   <a><n/><p><k/></p><b><t/></b></a></d>";
+        check_exact(doc, "q1: q0 //a\nq2: q1 //p\nq3: q2 //k");
+        check_exact(doc, "q1: q0 //a[//b]\nq2: q1 //p");
+        check_exact(doc, "q1: q0 //a\nq2: q1 ? //b");
+        check_exact(doc, "q1: q0 //p[/k]\nq2: q1 /k");
+        check_exact(doc, "q1: q0 //a[//b][//n]\nq2: q1 //k");
+    }
+
+    #[test]
+    fn figure3_selectivity_is_ten_for_both_documents() {
+        // §3.1: the twig //A/B/C has selectivity 10 on both T1 and T2.
+        for src in [
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+             <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+            "<r><a><b><c/></b><b><c/></b></a>\
+             <a><b><c/><c/><c/><c/></b><b><c/><c/><c/><c/></b></a></r>",
+        ] {
+            check_exact(src, "q1: q0 //a\nq2: q1 /b\nq3: q2 /c");
+            let doc = parse_document(src).unwrap();
+            let index = DocIndex::build(&doc);
+            let query = parse_twig("q1: q0 //a\nq2: q1 /b\nq3: q2 /c").unwrap();
+            assert_eq!(exact_selectivity(&doc, &index, &query), 10.0);
+        }
+    }
+
+    #[test]
+    fn empty_answer_estimates_zero() {
+        let doc = parse_document("<r><a/></r>").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let query = parse_twig("q1: q0 //nope").unwrap();
+        assert_eq!(
+            estimate_query_selectivity(&ts, &query, &EvalConfig::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn optional_edges_clamp_at_one() {
+        let doc = parse_document("<r><a/><a/><a/></r>").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let query = parse_twig("q1: q0 //a\nq2: q1 ? //zzz").unwrap();
+        let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        assert_eq!(estimate_selectivity(&result, &query), 3.0);
+    }
+}

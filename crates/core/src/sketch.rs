@@ -1,0 +1,248 @@
+//! The TreeSketch synopsis data structure (§3.2, Definition 3.2).
+
+use axqa_synopsis::{SizeModel, StableSummary};
+use axqa_xml::{LabelId, LabelTable};
+use std::fmt;
+
+/// Identifier of a TreeSketch node (an element cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TsNodeId(pub u32);
+
+impl TsNodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TsNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One node of a TreeSketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsNode {
+    /// Common label of the cluster's elements.
+    pub label: LabelId,
+    /// `count(u)` — extent size.
+    pub count: u64,
+    /// Outgoing edges `(v, count(u, v))`: *average* children in `v` per
+    /// element of `u`, sorted by target id.
+    pub edges: Vec<(TsNodeId, f64)>,
+    /// Longest downward distance to a leaf cluster (the paper's node
+    /// depth, used by `CREATEPOOL`).
+    pub depth: u32,
+}
+
+impl TsNode {
+    /// The average child count into `target`, 0.0 without an edge.
+    pub fn count_to(&self, target: TsNodeId) -> f64 {
+        self.edges
+            .binary_search_by_key(&target, |&(t, _)| t)
+            .map(|i| self.edges[i].1)
+            .unwrap_or(0.0)
+    }
+}
+
+/// A TreeSketch synopsis: the paper's `T S`.
+///
+/// The interpretation (§3.2): *all elements in the extent of `u` have
+/// `count(u, v)` child elements in the extent of `v`* — trivially exact
+/// when the underlying partition is count-stable, an approximation
+/// otherwise, with approximation quality measured by [`TreeSketch::squared_error`].
+#[derive(Debug, Clone)]
+pub struct TreeSketch {
+    labels: LabelTable,
+    nodes: Vec<TsNode>,
+    root: TsNodeId,
+    /// The clustering squared error `sq(T S)` at construction time.
+    squared_error: f64,
+}
+
+impl TreeSketch {
+    /// Assembles a TreeSketch from parts (used by the builders).
+    pub(crate) fn from_parts(
+        labels: LabelTable,
+        nodes: Vec<TsNode>,
+        root: TsNodeId,
+        squared_error: f64,
+    ) -> TreeSketch {
+        TreeSketch {
+            labels,
+            nodes,
+            root,
+            squared_error,
+        }
+    }
+
+    /// The *exact* TreeSketch of a document: one cluster per count-stable
+    /// class, every edge annotated with its (exact) `k`. Squared error 0.
+    pub fn from_stable(summary: &StableSummary) -> TreeSketch {
+        let nodes = summary
+            .nodes()
+            .iter()
+            .map(|n| TsNode {
+                label: n.label,
+                count: n.extent,
+                edges: n
+                    .children
+                    .iter()
+                    .map(|&(t, k)| (TsNodeId(t.0), k as f64))
+                    .collect(),
+                depth: n.depth,
+            })
+            .collect();
+        TreeSketch {
+            labels: summary.labels().clone(),
+            nodes,
+            root: TsNodeId(summary.root().0),
+            squared_error: 0.0,
+        }
+    }
+
+    /// The root cluster (contains exactly the document root).
+    pub fn root(&self) -> TsNodeId {
+        self.root
+    }
+
+    /// All nodes, indexed by [`TsNodeId`].
+    pub fn nodes(&self) -> &[TsNode] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: TsNodeId) -> &TsNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A TreeSketch always has at least the root cluster.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.nodes.iter().map(|n| n.edges.len()).sum()
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// The clustering squared error `sq(T S)` (§3.2): summed over all
+    /// clusters and outgoing directions, the variance of exact child
+    /// counts around the stored averages. 0 ⟺ count-stable.
+    pub fn squared_error(&self) -> f64 {
+        self.squared_error
+    }
+
+    /// Synopsis size under `model` (see `axqa_synopsis::SizeModel`).
+    pub fn size_bytes(&self, model: &SizeModel) -> usize {
+        model.graph_bytes(self.len(), self.num_edges())
+    }
+
+    /// Maximum node depth — used to bound embedding enumeration over
+    /// possibly-cyclic compressed synopses.
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Clusters carrying `label`.
+    pub fn nodes_with_label(&self, label: LabelId) -> impl Iterator<Item = TsNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.label == label)
+            .map(|(i, _)| TsNodeId(i as u32))
+    }
+
+    /// Sum of `count(u)` over all clusters = number of summarized
+    /// elements.
+    pub fn total_elements(&self) -> u64 {
+        self.nodes.iter().map(|n| n.count).sum()
+    }
+
+    /// Renders the synopsis as a readable multi-line string (tests and
+    /// examples).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "t{} {}({})",
+                i,
+                self.labels.name(node.label),
+                node.count
+            );
+            for &(t, avg) in &node.edges {
+                let _ = write!(out, " -{avg:.3}-> t{}", t.0);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn from_stable_is_exact() {
+        let doc = parse_document(
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+             <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+        )
+        .unwrap();
+        let summary = build_stable(&doc);
+        let ts = TreeSketch::from_stable(&summary);
+        assert_eq!(ts.len(), summary.len());
+        assert_eq!(ts.num_edges(), summary.num_edges());
+        assert_eq!(ts.squared_error(), 0.0);
+        assert_eq!(ts.total_elements(), doc.len() as u64);
+        assert_eq!(ts.root().0, summary.root().0);
+        // Edge counts are the stable ks.
+        let root = ts.node(ts.root());
+        assert_eq!(root.edges.len(), 1);
+        assert_eq!(root.edges[0].1, 2.0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let doc = parse_document("<r><a/><a/><b/></r>").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        // Nodes: a, b, r = 3. Edges: r→a, r→b = 2.
+        let model = SizeModel::TREESKETCH;
+        assert_eq!(ts.size_bytes(&model), 3 * 8 + 2 * 8);
+    }
+
+    #[test]
+    fn count_to_missing_edge_is_zero() {
+        let doc = parse_document("<r><a/></r>").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let root = ts.node(ts.root());
+        assert_eq!(root.count_to(ts.root()), 0.0);
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let doc = parse_document("<r><a/><a/></r>").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let text = ts.dump();
+        assert!(text.contains("r(1)"));
+        assert!(text.contains("a(2)"));
+        assert!(text.contains("-2.000->"));
+    }
+}

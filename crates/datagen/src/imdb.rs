@@ -1,0 +1,134 @@
+//! IMDB-style movie documents.
+//!
+//! Movie records with heavy-tailed cast sizes (few blockbusters with
+//! huge casts, many small titles), optional sub-elements, and a person
+//! directory — moderate structural diversity, between DBLP's regularity
+//! and Swiss-Prot's variance.
+
+use crate::GenConfig;
+use axqa_xml::{Document, DocumentBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an IMDB-style document.
+pub fn generate(config: &GenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1237_5bcd);
+    let mut b = DocumentBuilder::new("imdb");
+
+    b.open("movies");
+    while b.len() < config.target_elements * 7 / 10 {
+        gen_movie(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.open("people");
+    while b.len() < config.target_elements {
+        gen_person(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.finish()
+}
+
+/// Approximate Zipf: heavy-tailed integer in `1..=max`.
+fn zipf(rng: &mut StdRng, max: u32) -> u32 {
+    let u: f64 = rng.gen_range(0.0..1.0f64);
+    // Inverse-power transform; exponent ≈ 1.3 gives a credible cast
+    // distribution.
+    let x = (1.0 - u).powf(-1.0 / 1.3);
+    (x.round() as u32).clamp(1, max)
+}
+
+fn gen_movie(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("movie");
+    b.leaf("title");
+    b.leaf_with_value("year", rng.gen_range(1920..=2004) as f64);
+    b.open("genres");
+    for _ in 0..rng.gen_range(1..=4) {
+        b.leaf("genre");
+    }
+    b.close();
+    b.open("cast");
+    let cast = zipf(rng, 40);
+    for _ in 0..cast {
+        b.open("actor");
+        b.leaf("name");
+        if rng.gen_bool(0.3) {
+            b.leaf("role");
+        }
+        b.close();
+    }
+    b.close();
+    if rng.gen_bool(0.85) {
+        b.open("directors");
+        for _ in 0..rng.gen_range(1..=2) {
+            b.leaf("director");
+        }
+        b.close();
+    }
+    if rng.gen_bool(0.5) {
+        b.open("ratings");
+        b.leaf("votes");
+        b.leaf("rank");
+        b.close();
+    }
+    if rng.gen_bool(0.25) {
+        b.open("trivia");
+        for _ in 0..rng.gen_range(1..=3) {
+            b.leaf("fact");
+        }
+        b.close();
+    }
+    if rng.gen_bool(0.4) {
+        b.leaf("runtime");
+    }
+    b.close();
+}
+
+fn gen_person(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("person");
+    b.leaf("name");
+    if rng.gen_bool(0.6) {
+        b.leaf_with_value("birthdate", rng.gen_range(1900..=1990) as f64);
+    }
+    if rng.gen_bool(0.3) {
+        b.leaf("birthplace");
+    }
+    b.open("filmography");
+    let credits = zipf(rng, 25);
+    for _ in 0..credits {
+        b.leaf("credit");
+    }
+    b.close();
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_sizes_are_heavy_tailed() {
+        let doc = generate(&GenConfig::sized(30_000));
+        let cast = doc.labels().get("cast").unwrap();
+        let mut sizes: Vec<usize> = doc
+            .node_ids()
+            .filter(|&n| doc.label(n) == cast)
+            .map(|n| doc.child_count(n))
+            .collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let max = *sizes.last().unwrap();
+        assert!(median <= 3, "median cast {median}");
+        assert!(max >= 15, "max cast {max}");
+    }
+
+    #[test]
+    fn shape() {
+        let doc = generate(&GenConfig::sized(5_000));
+        assert_eq!(doc.label_name(doc.root()), "imdb");
+        for tag in ["movie", "actor", "person", "genre"] {
+            assert!(doc.labels().get(tag).is_some(), "missing {tag}");
+        }
+    }
+}

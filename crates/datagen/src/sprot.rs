@@ -1,0 +1,218 @@
+//! Swiss-Prot-style protein annotation documents.
+//!
+//! Entries mix many optional and *variant* annotation blocks (comments
+//! of several shapes, db-references of several shapes, features with
+//! optional sub-fields), producing very high structural diversity: the
+//! count-stable summary is a large fraction of the document, matching
+//! the paper's Table 1 (SProt: 10 MB / 645 KB stable).
+
+use crate::GenConfig;
+use axqa_xml::{Document, DocumentBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Swiss-Prot-style document.
+pub fn generate(config: &GenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfeed_beef_cafe);
+    let mut b = DocumentBuilder::new("sprot");
+    while b.len() < config.target_elements {
+        gen_entry(&mut b, &mut rng);
+    }
+    b.finish()
+}
+
+fn gen_entry(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("entry");
+    b.leaf("name");
+    for _ in 0..rng.gen_range(1..=3) {
+        b.leaf("accession");
+    }
+    b.open("protein");
+    b.leaf("pname");
+    if rng.gen_bool(0.4) {
+        b.leaf("synonym");
+    }
+    if rng.gen_bool(0.2) {
+        b.leaf("ecnumber");
+    }
+    b.close();
+    if rng.gen_bool(0.7) {
+        b.open("gene");
+        b.leaf("gname");
+        for _ in 0..rng.gen_range(0..=2) {
+            b.leaf("gsynonym");
+        }
+        b.close();
+    }
+    b.open("organism");
+    b.leaf("oname");
+    for _ in 0..rng.gen_range(1..=5) {
+        b.leaf("taxon");
+    }
+    b.close();
+    for _ in 0..rng.gen_range(1..=6) {
+        gen_reference(b, rng);
+    }
+    for _ in 0..rng.gen_range(0..=5) {
+        gen_comment(b, rng);
+    }
+    for _ in 0..rng.gen_range(0..=8) {
+        gen_dbreference(b, rng);
+    }
+    if rng.gen_bool(0.8) {
+        b.open("keywords");
+        for _ in 0..rng.gen_range(1..=6) {
+            b.leaf("keyword");
+        }
+        b.close();
+    }
+    for _ in 0..rng.gen_range(0..=10) {
+        gen_feature(b, rng);
+    }
+    b.open("sequence");
+    b.leaf("checksum");
+    b.close();
+    b.close();
+}
+
+fn gen_reference(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("reference");
+    b.open("citation");
+    match rng.gen_range(0..3) {
+        0 => {
+            // Journal article.
+            b.leaf("ctitle");
+            b.leaf("journal");
+            b.leaf("volume");
+            b.leaf("pages");
+            b.leaf("cyear");
+        }
+        1 => {
+            // Submission.
+            b.leaf("ctitle");
+            b.leaf("db");
+            b.leaf("cyear");
+        }
+        _ => {
+            // Book chapter.
+            b.leaf("ctitle");
+            b.leaf("book");
+            b.leaf("publisher");
+        }
+    }
+    b.close();
+    b.open("authorlist");
+    for _ in 0..rng.gen_range(1..=8) {
+        b.leaf("author");
+    }
+    b.close();
+    if rng.gen_bool(0.3) {
+        b.leaf("rposition");
+    }
+    b.close();
+}
+
+fn gen_comment(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("comment");
+    match rng.gen_range(0..5) {
+        0 => {
+            b.leaf("function");
+        }
+        1 => {
+            b.leaf("subcellular");
+            if rng.gen_bool(0.5) {
+                b.leaf("topology");
+            }
+        }
+        2 => {
+            b.open("interaction");
+            b.leaf("interactant");
+            b.leaf("interactant");
+            b.close();
+        }
+        3 => {
+            b.leaf("similarity");
+        }
+        _ => {
+            b.open("disease");
+            b.leaf("dname");
+            if rng.gen_bool(0.4) {
+                b.leaf("mim");
+            }
+            b.close();
+        }
+    }
+    b.close();
+}
+
+fn gen_dbreference(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("dbreference");
+    b.leaf("dbid");
+    match rng.gen_range(0..4) {
+        0 => {}
+        1 => {
+            b.leaf("property");
+        }
+        2 => {
+            b.leaf("property");
+            b.leaf("property");
+        }
+        _ => {
+            b.leaf("molecule");
+            b.leaf("property");
+        }
+    }
+    b.close();
+}
+
+fn gen_feature(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("feature");
+    b.leaf("ftype");
+    b.open("location");
+    if rng.gen_bool(0.7) {
+        b.leaf("begin");
+        b.leaf("end");
+    } else {
+        b.leaf("position");
+    }
+    b.close();
+    if rng.gen_bool(0.3) {
+        b.leaf("fdescription");
+    }
+    if rng.gen_bool(0.1) {
+        b.leaf("fid");
+    }
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_synopsis::build_stable;
+
+    #[test]
+    fn structural_diversity_is_high() {
+        let doc = generate(&GenConfig::sized(30_000));
+        let stable = build_stable(&doc);
+        // Entries essentially never share a whole-subtree shape.
+        let entry = doc.labels().get("entry").unwrap();
+        let classes = stable.classes_with_label(entry).count();
+        let entries = doc
+            .node_ids()
+            .filter(|&n| doc.label(n) == entry)
+            .count();
+        assert!(
+            classes as f64 > entries as f64 * 0.8,
+            "{classes} classes for {entries} entries"
+        );
+    }
+
+    #[test]
+    fn shape() {
+        let doc = generate(&GenConfig::sized(5_000));
+        assert_eq!(doc.label_name(doc.root()), "sprot");
+        for tag in ["entry", "reference", "comment", "feature", "dbreference"] {
+            assert!(doc.labels().get(tag).is_some(), "missing {tag}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! XMark-style auction-site documents.
+//!
+//! Mirrors the XMark benchmark's structure at the element level: a
+//! `site` with regions/categories/people/open_auctions/closed_auctions,
+//! items whose descriptions contain *recursive* `parlist`/`listitem`
+//! markup (the recursion that makes compressed synopses cyclic), people
+//! with correlated optional profile blocks, and auctions with varying
+//! bidder lists. Structural diversity is high, matching the paper's
+//! Table 1 (XMark's stable summary is the largest fraction of document
+//! size among the four datasets).
+
+use crate::GenConfig;
+use axqa_xml::{Document, DocumentBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an XMark-style document.
+pub fn generate(config: &GenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
+    let mut b = DocumentBuilder::new("site");
+
+    // Fixed region skeleton, items distributed round-robin.
+    const REGIONS: [&str; 6] = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
+    b.open("regions");
+    let mut region_nodes = Vec::new();
+    for region in REGIONS {
+        region_nodes.push(b.open(region));
+        b.close();
+    }
+    b.close();
+
+    // Round-robin sections until the target is met: 40% items, 25%
+    // people, 20% open auctions, 15% closed auctions.
+    b.open("categories");
+    while b.len() < config.target_elements / 25 {
+        b.open("category");
+        b.leaf("name");
+        b.open("description");
+        gen_text(&mut b, &mut rng, 2);
+        b.close();
+        b.close();
+    }
+    b.close();
+
+    b.open("regions2"); // flattened item area (regions already emitted)
+    while b.len() < config.target_elements * 2 / 5 {
+        gen_item(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.open("people");
+    while b.len() < config.target_elements * 13 / 20 {
+        gen_person(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.open("open_auctions");
+    while b.len() < config.target_elements * 17 / 20 {
+        gen_open_auction(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.open("closed_auctions");
+    while b.len() < config.target_elements {
+        gen_closed_auction(&mut b, &mut rng);
+    }
+    b.close();
+
+    b.finish()
+}
+
+fn gen_item(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("item");
+    b.leaf("location");
+    b.leaf_with_value("quantity", rng.gen_range(1..=10) as f64);
+    b.leaf("name");
+    b.open("payment");
+    b.close();
+    b.open("description");
+    gen_text(b, rng, 0);
+    b.close();
+    b.open("shipping");
+    b.close();
+    // 0–3 incategory references.
+    for _ in 0..rng.gen_range(0..=3) {
+        b.leaf("incategory");
+    }
+    if rng.gen_bool(0.4) {
+        b.open("mailbox");
+        for _ in 0..rng.gen_range(1..=3) {
+            b.open("mail");
+            b.leaf("from");
+            b.leaf("to");
+            b.leaf("date");
+            gen_text(b, rng, 1);
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+}
+
+/// The recursive description markup: text | parlist(listitem+), where a
+/// listitem may itself contain a parlist — geometric recursion depth.
+fn gen_text(b: &mut DocumentBuilder, rng: &mut StdRng, depth: u32) {
+    if depth >= 4 || rng.gen_bool(0.6) {
+        b.leaf("text");
+        return;
+    }
+    b.open("parlist");
+    for _ in 0..rng.gen_range(1..=3) {
+        b.open("listitem");
+        gen_text(b, rng, depth + 1);
+        b.close();
+    }
+    b.close();
+}
+
+fn gen_person(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("person");
+    b.leaf("name");
+    b.leaf("emailaddress");
+    if rng.gen_bool(0.5) {
+        b.leaf("phone");
+    }
+    if rng.gen_bool(0.4) {
+        b.open("address");
+        b.leaf("street");
+        b.leaf("city");
+        b.leaf("country");
+        b.leaf("zipcode");
+        b.close();
+    }
+    if rng.gen_bool(0.3) {
+        b.leaf("homepage");
+    }
+    if rng.gen_bool(0.25) {
+        b.leaf("creditcard");
+    }
+    // Profile correlates: interest count and education/gender presence.
+    if rng.gen_bool(0.6) {
+        b.open("profile");
+        for _ in 0..rng.gen_range(0..=5) {
+            b.leaf("interest");
+        }
+        if rng.gen_bool(0.5) {
+            b.leaf("education");
+        }
+        if rng.gen_bool(0.5) {
+            b.leaf("gender");
+        }
+        b.leaf("business");
+        if rng.gen_bool(0.7) {
+            b.leaf("age");
+        }
+        b.close();
+    }
+    if rng.gen_bool(0.35) {
+        b.open("watches");
+        for _ in 0..rng.gen_range(1..=4) {
+            b.leaf("watch");
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn gen_open_auction(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("open_auction");
+    b.leaf_with_value("initial", (rng.gen_range(100..=50_000) as f64) / 100.0);
+    if rng.gen_bool(0.5) {
+        b.leaf("reserve");
+    }
+    // Bidder list: geometric length.
+    let mut bidders = 0;
+    while bidders < 12 && rng.gen_bool(0.65) {
+        b.open("bidder");
+        b.leaf("date");
+        b.leaf("time");
+        b.leaf("personref");
+        b.leaf_with_value("increase", (rng.gen_range(100..=5_000) as f64) / 100.0);
+        b.close();
+        bidders += 1;
+    }
+    b.leaf("current");
+    if rng.gen_bool(0.3) {
+        b.leaf("privacy");
+    }
+    b.leaf("itemref");
+    b.leaf("seller");
+    b.open("annotation");
+    b.leaf("author");
+    gen_text(b, rng, 1);
+    b.close();
+    b.leaf("quantity");
+    b.leaf("type");
+    b.leaf("interval");
+    b.close();
+}
+
+fn gen_closed_auction(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.open("closed_auction");
+    b.leaf("seller");
+    b.leaf("buyer");
+    b.leaf("itemref");
+    b.leaf_with_value("price", (rng.gen_range(100..=100_000) as f64) / 100.0);
+    b.leaf("date");
+    b.leaf("quantity");
+    b.leaf("type");
+    if rng.gen_bool(0.5) {
+        b.open("annotation");
+        b.leaf("author");
+        gen_text(b, rng, 1);
+        b.close();
+    }
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_recursive_markup() {
+        let doc = generate(&GenConfig::sized(20_000));
+        // Find a parlist nested inside another parlist's listitem.
+        let parlist = doc.labels().get("parlist").expect("parlist exists");
+        let mut nested = false;
+        for n in doc.node_ids() {
+            if doc.label(n) != parlist {
+                continue;
+            }
+            let mut up = doc.parent(n);
+            while let Some(p) = up {
+                if doc.label(p) == parlist {
+                    nested = true;
+                    break;
+                }
+                up = doc.parent(p);
+            }
+            if nested {
+                break;
+            }
+        }
+        assert!(nested, "expected nested parlist recursion");
+    }
+
+    #[test]
+    fn has_expected_sections() {
+        let doc = generate(&GenConfig::sized(8_000));
+        for tag in ["site", "person", "open_auction", "closed_auction", "item", "bidder"] {
+            assert!(doc.labels().get(tag).is_some(), "missing {tag}");
+        }
+        assert_eq!(doc.label_name(doc.root()), "site");
+    }
+}

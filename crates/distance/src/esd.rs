@@ -1,0 +1,295 @@
+//! The Element Simulation Distance (§5).
+//!
+//! `ESD(u, v)` between two same-label elements is the sum, over child
+//! tags `t`, of the value-set distance between the weighted child groups
+//! `U_t` and `V_t`, where the distance between individual children is
+//! ESD applied recursively. When one group is empty, the paper's
+//! transformation (insert artificial elements at distance `|e|`) makes
+//! the distance the summed subtree-size penalty of the other group.
+//!
+//! The computation runs over [`WeightedSummary`] DAGs with memoization
+//! on node pairs — the "compute ESD on the stable summaries" efficiency
+//! trick of §5. For experiment workloads, child groups are keyed by
+//! `(tag, query variable)` rather than tag alone — the paper's
+//! "straightforward extension of ESD that limits comparisons to the
+//! binding elements of the same query variable" (§6.1).
+
+use crate::setdist::{SetDistance, SetItem};
+use crate::weighted::WeightedSummary;
+use axqa_core::eval::ResultSketch;
+use axqa_eval::NestingTree;
+use axqa_xml::fxhash::FxHashMap;
+use axqa_xml::Document;
+
+/// ESD configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EsdConfig {
+    /// The value-set distance used between child groups.
+    pub set_distance: SetDistance,
+}
+
+/// ESD between two plain documents.
+///
+/// ```
+/// use axqa_xml::parse_document;
+/// use axqa_distance::{esd_documents, EsdConfig};
+///
+/// let a = parse_document("<r><x/><x/></r>").unwrap();
+/// let b = parse_document("<r><x/></r>").unwrap();
+/// let config = EsdConfig::default();
+/// assert_eq!(esd_documents(&a, &a, &config), 0.0);
+/// assert!(esd_documents(&a, &b, &config) > 0.0);
+/// ```
+pub fn esd_documents(d1: &Document, d2: &Document, config: &EsdConfig) -> f64 {
+    let s1 = WeightedSummary::from_document(d1);
+    let s2 = WeightedSummary::from_document(d2);
+    esd_summaries(&s1, &s2, config)
+}
+
+/// ESD between the true nesting tree of a query and an approximate
+/// result sketch — the §6 quality measure for approximate answers.
+pub fn esd_answer(
+    doc: &Document,
+    truth: &NestingTree,
+    approx: &ResultSketch,
+    config: &EsdConfig,
+) -> f64 {
+    let s1 = WeightedSummary::from_nesting_tree(doc, truth);
+    let s2 = WeightedSummary::from_result_sketch(approx);
+    esd_summaries(&s1, &s2, config)
+}
+
+/// ESD between the true nesting tree and a concrete (e.g. sampled)
+/// answer tree — used for the twig-XSketch baseline of §6.1.
+pub fn esd_answer_tree(
+    doc: &Document,
+    truth: &NestingTree,
+    approx: &axqa_eval::AnswerTree,
+    config: &EsdConfig,
+) -> f64 {
+    let s1 = WeightedSummary::from_nesting_tree(doc, truth);
+    let s2 = WeightedSummary::from_answer_tree(approx);
+    esd_summaries(&s1, &s2, config)
+}
+
+/// ESD charged when the approximate answer is empty but the true one is
+/// not (or vice versa): the whole true result is "missing mass".
+pub fn esd_empty_answer(doc: &Document, truth: &NestingTree, config: &EsdConfig) -> f64 {
+    let s = WeightedSummary::from_nesting_tree(doc, truth);
+    let root = s.node(s.root());
+    // Distance between the root and an empty counterpart with the same
+    // label: all child groups unmatched.
+    let exponent = match config.set_distance {
+        SetDistance::GreedyMac { exponent } | SetDistance::Emd { exponent } => exponent,
+    };
+    root.edges
+        .iter()
+        .map(|&(t, m)| m.powf(exponent).max(m) * s.node(t).size)
+        .sum()
+}
+
+/// ESD between two weighted summaries.
+///
+/// Roots with different labels are maximally distant: the sum of both
+/// total sizes (delete one tree, insert the other).
+pub fn esd_summaries(s1: &WeightedSummary, s2: &WeightedSummary, config: &EsdConfig) -> f64 {
+    // Label vocabularies may differ (summaries from different pipelines);
+    // translate s2's label ids into s1's by name once.
+    let translate: Vec<Option<u32>> = s2
+        .labels()
+        .iter()
+        .map(|(_, name)| s1.labels().get(name).map(|l| l.0))
+        .collect();
+    let mut engine = Engine {
+        s1,
+        s2,
+        translate,
+        config: *config,
+        memo: FxHashMap::default(),
+    };
+    let r1 = s1.root();
+    let r2 = s2.root();
+    if !engine.comparable(r1, r2) {
+        return s1.total_size() + s2.total_size();
+    }
+    engine.esd(r1, r2)
+}
+
+struct Engine<'a> {
+    s1: &'a WeightedSummary,
+    s2: &'a WeightedSummary,
+    /// s2 label id → s1 label id (by name).
+    translate: Vec<Option<u32>>,
+    config: EsdConfig,
+    memo: FxHashMap<(u32, u32), f64>,
+}
+
+impl Engine<'_> {
+    /// Same (translated) label and same query-variable tag.
+    fn comparable(&self, u: u32, v: u32) -> bool {
+        let nu = self.s1.node(u);
+        let nv = self.s2.node(v);
+        self.translate[nv.label.index()] == Some(nu.label.0) && nu.var == nv.var
+    }
+
+    /// Group key of a child in s1's vocabulary: (label, var).
+    fn key1(&self, u: u32) -> (u32, u32) {
+        let n = self.s1.node(u);
+        (n.label.0, n.var.map_or(u32::MAX, |q| q.0))
+    }
+
+    fn key2(&self, v: u32) -> Option<(u32, u32)> {
+        let n = self.s2.node(v);
+        let label = self.translate[n.label.index()]?;
+        Some((label, n.var.map_or(u32::MAX, |q| q.0)))
+    }
+
+    fn esd(&mut self, u: u32, v: u32) -> f64 {
+        if let Some(&cached) = self.memo.get(&(u, v)) {
+            return cached;
+        }
+        // Group children of u and v by (label, var).
+        // (child id, multiplicity) lists per side of one group.
+        type Group = (Vec<(u32, f64)>, Vec<(u32, f64)>);
+        let mut groups: FxHashMap<(u32, u32), Group> = FxHashMap::default();
+        for &(c, m) in &self.s1.node(u).edges {
+            groups.entry(self.key1(c)).or_default().0.push((c, m));
+        }
+        for &(c, m) in &self.s2.node(v).edges {
+            match self.key2(c) {
+                Some(key) => groups.entry(key).or_default().1.push((c, m)),
+                None => {
+                    // Label unknown on the other side: wholly unmatched.
+                    groups
+                        .entry((u32::MAX, c))
+                        .or_default()
+                        .1
+                        .push((c, m));
+                }
+            }
+        }
+        let mut total = 0.0;
+        let keys: Vec<(u32, u32)> = groups.keys().copied().collect();
+        for key in keys {
+            let (left, right) = groups.get(&key).cloned().unwrap_or_default();
+            let items_l: Vec<SetItem> = left
+                .iter()
+                .map(|&(c, m)| SetItem {
+                    size: self.s1.node(c).size,
+                    mult: m,
+                })
+                .collect();
+            let items_r: Vec<SetItem> = right
+                .iter()
+                .map(|&(c, m)| SetItem {
+                    size: self.s2.node(c).size,
+                    mult: m,
+                })
+                .collect();
+            // Pairwise recursive distances.
+            let mut dist = Vec::with_capacity(items_l.len() * items_r.len());
+            for &(cl, _) in &left {
+                for &(cr, _) in &right {
+                    dist.push(self.esd(cl, cr));
+                }
+            }
+            total += self.config.set_distance.eval(&items_l, &items_r, &dist);
+        }
+        self.memo.insert((u, v), total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_xml::parse_document;
+
+    /// Figure 10's trees with |Sc| = |Sd| = 1 (single nodes).
+    fn fig10_t() -> Document {
+        parse_document("<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>")
+            .unwrap()
+    }
+    fn fig10_t1() -> Document {
+        parse_document("<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>")
+            .unwrap()
+    }
+    fn fig10_t2() -> Document {
+        parse_document(
+            "<r><a><c/><c/><c/><c/><c/><c/><d/><d/></a>\
+             <a><c/><c/><d/><d/><d/><d/><d/><d/></a></r>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn esd_of_identical_documents_is_zero() {
+        let config = EsdConfig::default();
+        for doc in [fig10_t(), fig10_t1(), fig10_t2()] {
+            assert_eq!(esd_documents(&doc, &doc, &config), 0.0);
+        }
+    }
+
+    #[test]
+    fn esd_is_symmetric() {
+        let config = EsdConfig::default();
+        let (t, t1) = (fig10_t(), fig10_t1());
+        let ab = esd_documents(&t, &t1, &config);
+        let ba = esd_documents(&t1, &t, &config);
+        assert!((ab - ba).abs() < 1e-9);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn figure10_esd_prefers_correlation_preserving_t2() {
+        // §5's argument: tree-edit distance ranks T1 and T2 equally, but
+        // T2 preserves the c/d anti-correlation and should be closer.
+        let config = EsdConfig::default();
+        let t = fig10_t();
+        let d1 = esd_documents(&t, &fig10_t1(), &config);
+        let d2 = esd_documents(&t, &fig10_t2(), &config);
+        assert!(
+            d2 < d1,
+            "ESD must prefer T2: esd(T,T1) = {d1}, esd(T,T2) = {d2}"
+        );
+    }
+
+    #[test]
+    fn figure10_holds_under_emd_too() {
+        let config = EsdConfig {
+            set_distance: SetDistance::Emd { exponent: 2.0 },
+        };
+        let t = fig10_t();
+        let d1 = esd_documents(&t, &fig10_t1(), &config);
+        let d2 = esd_documents(&t, &fig10_t2(), &config);
+        assert!(d2 < d1, "esd(T,T1) = {d1}, esd(T,T2) = {d2}");
+    }
+
+    #[test]
+    fn different_roots_are_maximally_distant() {
+        let config = EsdConfig::default();
+        let a = parse_document("<a><x/></a>").unwrap();
+        let b = parse_document("<b><x/></b>").unwrap();
+        assert_eq!(esd_documents(&a, &b, &config), 4.0); // 2 + 2
+    }
+
+    #[test]
+    fn missing_subtrees_cost_their_size() {
+        let config = EsdConfig::default();
+        let full = parse_document("<r><a><b/><b/></a></r>").unwrap();
+        let bare = parse_document("<r><a/></r>").unwrap();
+        // a-group matches (ESD(a_full, a_bare) = 2²·1 = 4 for the two
+        // missing b's); top-level group distance = 1·4 = 4.
+        let d = esd_documents(&full, &bare, &config);
+        assert_eq!(d, 4.0);
+    }
+
+    #[test]
+    fn disjoint_vocabulary_children_counted() {
+        let config = EsdConfig::default();
+        let a = parse_document("<r><x/></r>").unwrap();
+        let b = parse_document("<r><y/></r>").unwrap();
+        // x unmatched (1) + y unmatched (1).
+        assert_eq!(esd_documents(&a, &b, &config), 2.0);
+    }
+}

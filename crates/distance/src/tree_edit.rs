@@ -1,0 +1,227 @@
+//! Ordered tree-edit distance (Zhang–Shasha), the syntax-oriented
+//! baseline §5 argues against.
+//!
+//! The classic O(n₁·n₂·min(depth,leaves)²) dynamic program of Zhang and
+//! Shasha \[20\] over post-order-numbered trees with keyroots. Costs are
+//! configurable; the paper's Figure 10 example uses insert/delete-only
+//! editing, which [`EditCosts::insert_delete_only`] models by pricing a
+//! relabel as delete + insert.
+
+use axqa_xml::{Document, NodeId};
+
+/// Per-operation costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EditCosts {
+    /// Cost of deleting a node.
+    pub delete: f64,
+    /// Cost of inserting a node.
+    pub insert: f64,
+    /// Cost of relabeling a node (matching identical labels is free).
+    pub relabel: f64,
+}
+
+impl Default for EditCosts {
+    fn default() -> Self {
+        EditCosts {
+            delete: 1.0,
+            insert: 1.0,
+            relabel: 1.0,
+        }
+    }
+}
+
+impl EditCosts {
+    /// The Figure 10 regime: only insertions and deletions (a relabel
+    /// costs as much as delete + insert, so it is never beneficial).
+    pub fn insert_delete_only() -> EditCosts {
+        EditCosts {
+            delete: 1.0,
+            insert: 1.0,
+            relabel: 2.0,
+        }
+    }
+}
+
+/// Post-order view of a document used by the DP.
+struct PostOrderTree {
+    /// Labels by post-order index (0-based).
+    labels: Vec<String>,
+    /// `lml[i]` — post-order index of the leftmost leaf of the subtree
+    /// rooted at post-order node `i`.
+    lml: Vec<usize>,
+    /// Keyroots in increasing post-order.
+    keyroots: Vec<usize>,
+}
+
+impl PostOrderTree {
+    fn build(doc: &Document) -> PostOrderTree {
+        let order: Vec<NodeId> = doc.post_order().collect();
+        let mut post_index = vec![0usize; doc.len()];
+        for (i, n) in order.iter().enumerate() {
+            post_index[n.index()] = i;
+        }
+        let mut labels = Vec::with_capacity(order.len());
+        let mut lml = vec![0usize; order.len()];
+        for (i, &n) in order.iter().enumerate() {
+            labels.push(doc.label_name(n).to_owned());
+            // Leftmost leaf: descend first children.
+            let mut cur = n;
+            while let Some(first) = doc.children(cur).next() {
+                cur = first;
+            }
+            lml[i] = post_index[cur.index()];
+        }
+        // Keyroots: nodes that are not the leftmost child of their
+        // parent (equivalently, the highest node of each distinct lml).
+        let mut seen = vec![false; order.len()];
+        let mut keyroots = Vec::new();
+        for i in (0..order.len()).rev() {
+            if !seen[lml[i]] {
+                keyroots.push(i);
+                seen[lml[i]] = true;
+            }
+        }
+        keyroots.sort_unstable();
+        PostOrderTree {
+            labels,
+            lml,
+            keyroots,
+        }
+    }
+}
+
+/// Zhang–Shasha tree-edit distance between two documents.
+pub fn tree_edit_distance(d1: &Document, d2: &Document, costs: &EditCosts) -> f64 {
+    let t1 = PostOrderTree::build(d1);
+    let t2 = PostOrderTree::build(d2);
+    let n1 = t1.labels.len();
+    let n2 = t2.labels.len();
+    let mut tree_dist = vec![vec![0.0f64; n2]; n1];
+
+    for &i in &t1.keyroots {
+        for &j in &t2.keyroots {
+            forest_distance(&t1, &t2, i, j, costs, &mut tree_dist);
+        }
+    }
+    tree_dist[n1 - 1][n2 - 1]
+}
+
+/// Fills `tree_dist` for the keyroot pair `(i, j)` via the forest DP.
+fn forest_distance(
+    t1: &PostOrderTree,
+    t2: &PostOrderTree,
+    i: usize,
+    j: usize,
+    costs: &EditCosts,
+    tree_dist: &mut [Vec<f64>],
+) {
+    let li = t1.lml[i];
+    let lj = t2.lml[j];
+    let m = i - li + 2; // forest sizes + 1 for the empty forest row/col
+    let n = j - lj + 2;
+    let mut fd = vec![vec![0.0f64; n]; m];
+    for x in 1..m {
+        fd[x][0] = fd[x - 1][0] + costs.delete;
+    }
+    for y in 1..n {
+        fd[0][y] = fd[0][y - 1] + costs.insert;
+    }
+    for x in 1..m {
+        for y in 1..n {
+            let node1 = li + x - 1;
+            let node2 = lj + y - 1;
+            if t1.lml[node1] == li && t2.lml[node2] == lj {
+                // Both forests are whole trees: full match allowed.
+                let rel = if t1.labels[node1] == t2.labels[node2] {
+                    0.0
+                } else {
+                    costs.relabel
+                };
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[x - 1][y - 1] + rel);
+                tree_dist[node1][node2] = fd[x][y];
+            } else {
+                let tx = t1.lml[node1] - li; // forest prefix before node1's subtree
+                let ty = t2.lml[node2] - lj;
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[tx][ty] + tree_dist[node1][node2]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_xml::parse_document;
+
+    fn dist(a: &str, b: &str) -> f64 {
+        let d1 = parse_document(a).unwrap();
+        let d2 = parse_document(b).unwrap();
+        tree_edit_distance(&d1, &d2, &EditCosts::default())
+    }
+
+    #[test]
+    fn identical_trees_zero() {
+        assert_eq!(dist("<a><b/><c/></a>", "<a><b/><c/></a>"), 0.0);
+    }
+
+    #[test]
+    fn single_insertions_and_deletions() {
+        assert_eq!(dist("<a/>", "<a><b/></a>"), 1.0);
+        assert_eq!(dist("<a><b/><b/></a>", "<a><b/></a>"), 1.0);
+    }
+
+    #[test]
+    fn relabel_costs_one() {
+        assert_eq!(dist("<a><b/></a>", "<a><c/></a>"), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = "<r><a><b/><b/></a><c/></r>";
+        let b = "<r><a><b/></a><c/><c/></r>";
+        assert_eq!(dist(a, b), dist(b, a));
+    }
+
+    #[test]
+    fn nested_restructure() {
+        // Move b under c: delete b, insert b — distance 2 with unit
+        // costs (relabel path may also achieve 2).
+        assert_eq!(dist("<r><b/><c/></r>", "<r><c><b/></c></r>"), 2.0);
+    }
+
+    #[test]
+    fn figure10_edit_distance_cannot_separate_t1_t2() {
+        // §5: under insert/delete editing both approximations are
+        // 3·|Sc| + 3·|Sd| away from T (with |Sc| = |Sd| = 1 → 6).
+        let t = parse_document(
+            "<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>",
+        )
+        .unwrap();
+        let t1 = parse_document(
+            "<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>",
+        )
+        .unwrap();
+        let t2 = parse_document(
+            "<r><a><c/><c/><c/><c/><c/><c/><d/><d/></a>\
+             <a><c/><c/><d/><d/><d/><d/><d/><d/></a></r>",
+        )
+        .unwrap();
+        let costs = EditCosts::insert_delete_only();
+        let d1 = tree_edit_distance(&t, &t1, &costs);
+        let d2 = tree_edit_distance(&t, &t2, &costs);
+        assert_eq!(d1, 6.0);
+        assert_eq!(d2, 6.0);
+        assert_eq!(d1, d2, "edit distance judges T1 and T2 equal");
+    }
+
+    #[test]
+    fn completely_different_trees() {
+        // Root relabel + child changes.
+        let d = dist("<a><b/></a>", "<x><y/><z/></x>");
+        assert!(d >= 3.0);
+    }
+}

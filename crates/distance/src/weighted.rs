@@ -1,0 +1,324 @@
+//! Weighted summaries: the DAG representation ESD is evaluated over.
+//!
+//! The paper computes ESD "by first building the stable summaries of T1
+//! and T2 on the fly and then evaluating the metric on the stable
+//! synopses" — a stable summary preserves path structure and edge
+//! distributions while deduplicating identical subtrees. A
+//! [`WeightedSummary`] generalizes this to *fractional* child
+//! multiplicities so that approximate result sketches (whose edges carry
+//! average counts) live in the same space as exact nesting trees.
+
+use axqa_core::eval::ResultSketch;
+use axqa_eval::{NestingTree, NtNodeId};
+use axqa_query::QVar;
+use axqa_xml::fxhash::FxHashMap;
+use axqa_xml::{Document, LabelId, LabelTable};
+
+/// One node of a weighted summary.
+#[derive(Debug, Clone)]
+pub struct WNode {
+    /// Element label.
+    pub label: LabelId,
+    /// Query variable of the bindings this node represents, if any.
+    pub var: Option<QVar>,
+    /// `(child, multiplicity)` — multiplicity may be fractional for
+    /// approximate answers. Children always have *smaller* indices
+    /// (children-before-parents construction), keeping the graph a DAG.
+    pub edges: Vec<(u32, f64)>,
+    /// Expected subtree size: `1 + Σ mult · size(child)` — the paper's
+    /// `|e|` in the empty-set transformation of §5.
+    pub size: f64,
+}
+
+/// Dedup table: (label, query var, child signature) → summary node.
+type SignatureTable = FxHashMap<(u32, u32, Vec<(u32, u64)>), u32>;
+
+/// A weighted summary: DAG of deduplicated weighted subtrees.
+#[derive(Debug, Clone)]
+pub struct WeightedSummary {
+    labels: LabelTable,
+    nodes: Vec<WNode>,
+    root: u32,
+}
+
+impl WeightedSummary {
+    /// The root node id.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[WNode] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: u32) -> &WNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never empty (there is always a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Expected size of the whole summarized tree.
+    pub fn total_size(&self) -> f64 {
+        self.nodes[self.root as usize].size
+    }
+
+    /// Builds the weighted summary of a plain document — its count-stable
+    /// summary with `var = None` everywhere.
+    pub fn from_document(doc: &Document) -> WeightedSummary {
+        let stable = axqa_synopsis::build_stable(doc);
+        let mut nodes: Vec<WNode> = Vec::with_capacity(stable.len());
+        for node in stable.nodes() {
+            let edges: Vec<(u32, f64)> = node
+                .children
+                .iter()
+                .map(|&(t, k)| (t.0, k as f64))
+                .collect();
+            let size = 1.0
+                + edges
+                    .iter()
+                    .map(|&(t, m)| m * nodes[t as usize].size)
+                    .sum::<f64>();
+            nodes.push(WNode {
+                label: node.label,
+                var: None,
+                edges,
+                size,
+            });
+        }
+        WeightedSummary {
+            labels: stable.labels().clone(),
+            root: stable.root().0,
+            nodes,
+        }
+    }
+
+    /// Builds the weighted summary of an exact nesting tree: identical
+    /// `(label, var, child signature)` binding subtrees are deduplicated
+    /// bottom-up, exactly like `BUILDSTABLE`.
+    pub fn from_nesting_tree(doc: &Document, nt: &NestingTree) -> WeightedSummary {
+        let mut nodes: Vec<WNode> = Vec::new();
+        // (label, var, signature) → node id.
+        let mut table: SignatureTable = FxHashMap::default();
+        let mut class_of: FxHashMap<u32, u32> = FxHashMap::default();
+
+        // Post-order over the nesting tree (children have larger NT ids,
+        // so reverse id order is bottom-up).
+        let order: Vec<NtNodeId> = collect_post_order(nt);
+        for id in order {
+            let mut signature: Vec<(u32, u64)> = Vec::new();
+            for &child in nt.children(id) {
+                let class = class_of[&child.0];
+                signature.push((class, 0));
+            }
+            signature.sort_unstable_by_key(|&(c, _)| c);
+            let mut collapsed: Vec<(u32, u64)> = Vec::new();
+            for &(class, _) in &signature {
+                match collapsed.last_mut() {
+                    Some(last) if last.0 == class => last.1 += 1,
+                    _ => collapsed.push((class, 1)),
+                }
+            }
+            let label = doc.label(nt.element(id));
+            let var = nt.var(id);
+            let key = (label.0, var.0, collapsed);
+            let class = match table.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = nodes.len() as u32;
+                    let edges: Vec<(u32, f64)> =
+                        key.2.iter().map(|&(t, m)| (t, m as f64)).collect();
+                    let size = 1.0
+                        + edges
+                            .iter()
+                            .map(|&(t, m)| m * nodes[t as usize].size)
+                            .sum::<f64>();
+                    nodes.push(WNode {
+                        label,
+                        var: Some(var),
+                        edges,
+                        size,
+                    });
+                    table.insert(key, c);
+                    c
+                }
+            };
+            class_of.insert(id.0, class);
+        }
+        WeightedSummary {
+            labels: doc.labels().clone(),
+            root: class_of[&nt.root().0],
+            nodes,
+        }
+    }
+
+    /// Builds the weighted summary of a concrete answer tree (exact or
+    /// sampled): identical `(label, var, child signature)` subtrees are
+    /// deduplicated bottom-up, like `BUILDSTABLE`.
+    pub fn from_answer_tree(tree: &axqa_eval::AnswerTree) -> WeightedSummary {
+        let answer_nodes = tree.nodes();
+        let mut nodes: Vec<WNode> = Vec::new();
+        let mut table: SignatureTable = FxHashMap::default();
+        let mut class_of = vec![u32::MAX; answer_nodes.len()];
+        // Children have larger indices, so reverse order is bottom-up.
+        for i in (0..answer_nodes.len()).rev() {
+            let node = &answer_nodes[i];
+            let mut signature: Vec<(u32, u64)> = Vec::new();
+            for &child in &node.children {
+                signature.push((class_of[child as usize], 0));
+            }
+            signature.sort_unstable_by_key(|&(c, _)| c);
+            let mut collapsed: Vec<(u32, u64)> = Vec::new();
+            for &(class, _) in &signature {
+                match collapsed.last_mut() {
+                    Some(last) if last.0 == class => last.1 += 1,
+                    _ => collapsed.push((class, 1)),
+                }
+            }
+            let key = (node.label.0, node.var.0, collapsed);
+            let class = match table.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = nodes.len() as u32;
+                    let edges: Vec<(u32, f64)> =
+                        key.2.iter().map(|&(t, m)| (t, m as f64)).collect();
+                    let size = 1.0
+                        + edges
+                            .iter()
+                            .map(|&(t, m)| m * nodes[t as usize].size)
+                            .sum::<f64>();
+                    nodes.push(WNode {
+                        label: node.label,
+                        var: Some(node.var),
+                        edges,
+                        size,
+                    });
+                    table.insert(key, c);
+                    c
+                }
+            };
+            class_of[i] = class;
+        }
+        WeightedSummary {
+            labels: tree.labels().clone(),
+            root: class_of[0],
+            nodes,
+        }
+    }
+
+    /// Builds the weighted summary of an approximate result sketch. The
+    /// sketch is already a DAG keyed by `(synopsis node, variable)`;
+    /// nodes are re-indexed children-before-parents and edge averages
+    /// become fractional multiplicities.
+    pub fn from_result_sketch(sketch: &ResultSketch) -> WeightedSummary {
+        let rnodes = sketch.nodes();
+        // Result nodes are created parents-first; reversing gives a
+        // children-before-parents order.
+        let n = rnodes.len();
+        let remap = |i: u32| (n as u32 - 1) - i;
+        let mut nodes: Vec<WNode> = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            let r = &rnodes[i];
+            let mut edges: Vec<(u32, f64)> = r
+                .edges
+                .iter()
+                .map(|&(t, m)| (remap(t), m))
+                .collect();
+            edges.sort_unstable_by_key(|&(t, _)| t);
+            let size = 1.0
+                + edges
+                    .iter()
+                    .map(|&(t, m)| m * nodes[t as usize].size)
+                    .sum::<f64>();
+            nodes.push(WNode {
+                label: r.label,
+                var: Some(r.var),
+                edges,
+                size,
+            });
+        }
+        WeightedSummary {
+            labels: sketch.labels().clone(),
+            root: remap(0),
+            nodes,
+        }
+    }
+}
+
+fn collect_post_order(nt: &NestingTree) -> Vec<NtNodeId> {
+    // NT children have strictly larger ids than their parent, so a
+    // reverse id scan is already post-order for our purposes.
+    (0..nt.len() as u32).rev().map(NtNodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_core::eval::{eval_query, EvalConfig};
+    use axqa_core::TreeSketch;
+    use axqa_eval::{evaluate, DocIndex};
+    use axqa_query::parse_twig;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn document_summary_sizes() {
+        let doc = parse_document("<r><a><b/><b/></a><a><b/><b/></a></r>").unwrap();
+        let ws = WeightedSummary::from_document(&doc);
+        // Classes: b, a(2b), r.
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws.total_size(), 7.0);
+        assert!(ws.nodes().iter().all(|n| n.var.is_none()));
+    }
+
+    #[test]
+    fn nesting_tree_summary_dedups_identical_subtrees() {
+        let doc = parse_document(
+            "<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>",
+        )
+        .unwrap();
+        let index = DocIndex::build(&doc);
+        let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        let ws = WeightedSummary::from_nesting_tree(&doc, &nt);
+        // Classes: k(q3), p-with-1k(q2), p-with-2k(q2), a over each p
+        // shape (2), root = 6; the two identical a-subtrees collapsed.
+        assert_eq!(ws.len(), 6);
+        // Total size = 1 root + 3 a + 3 p + 4 k = 11 binding nodes.
+        assert_eq!(ws.total_size(), 11.0);
+    }
+
+    #[test]
+    fn result_sketch_summary_matches_nesting_tree_on_stable_synopsis() {
+        let doc = parse_document(
+            "<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>",
+        )
+        .unwrap();
+        let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
+        let ts = TreeSketch::from_stable(&build_stable(&doc));
+        let rs = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
+        let ws = WeightedSummary::from_result_sketch(&rs);
+        // Expected size equals the exact nesting-tree size.
+        assert!((ws.total_size() - 11.0).abs() < 1e-9, "{}", ws.total_size());
+        // DAG invariant: edges point to smaller indices.
+        for (i, node) in ws.nodes().iter().enumerate() {
+            for &(t, _) in &node.edges {
+                assert!((t as usize) < i);
+            }
+        }
+    }
+}

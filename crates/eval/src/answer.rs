@@ -1,0 +1,150 @@
+//! Concrete answer trees: `(label, variable)`-tagged trees decoupled
+//! from any document.
+//!
+//! An [`AnswerTree`] is the common concrete-answer representation shared
+//! by the exact evaluator (a nesting tree forgets its element ids and
+//! becomes an answer tree) and by baseline approximate-answer generators
+//! that *sample* answers (twig-XSketch, §6.1) and therefore produce
+//! nodes that correspond to no real document element.
+
+use crate::nesting::{NestingTree, NtNodeId};
+use axqa_query::QVar;
+use axqa_xml::{Document, LabelId, LabelTable};
+
+/// One node of an answer tree.
+#[derive(Debug, Clone)]
+pub struct AnswerNode {
+    /// Element label.
+    pub label: LabelId,
+    /// Query variable the node binds.
+    pub var: QVar,
+    /// Child node indices.
+    pub children: Vec<u32>,
+}
+
+/// A tree of query bindings with labels but no document identity.
+#[derive(Debug, Clone)]
+pub struct AnswerTree {
+    labels: LabelTable,
+    nodes: Vec<AnswerNode>,
+}
+
+impl AnswerTree {
+    /// Creates an answer tree containing only a root binding.
+    pub fn new(labels: LabelTable, root_label: LabelId) -> AnswerTree {
+        AnswerTree {
+            labels,
+            nodes: vec![AnswerNode {
+                label: root_label,
+                var: QVar::ROOT,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root node (index 0).
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// All nodes; children always have larger indices than parents.
+    pub fn nodes(&self) -> &[AnswerNode] {
+        &self.nodes
+    }
+
+    /// Number of binding nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root binding exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Appends a binding under `parent`, returning its index.
+    pub fn add(&mut self, parent: u32, label: LabelId, var: QVar) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(AnswerNode {
+            label,
+            var,
+            children: Vec::new(),
+        });
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    /// Converts an exact nesting tree into an answer tree (dropping
+    /// element identities).
+    pub fn from_nesting_tree(doc: &Document, nt: &NestingTree) -> AnswerTree {
+        let mut tree = AnswerTree::new(doc.labels().clone(), doc.label(nt.element(nt.root())));
+        // NT ids are parent-before-child; map as we go.
+        let mut map = vec![u32::MAX; nt.len()];
+        map[0] = 0;
+        for i in 0..nt.len() as u32 {
+            let parent_new = map[i as usize];
+            debug_assert_ne!(parent_new, u32::MAX);
+            for &child in nt.children(NtNodeId(i)) {
+                let new = tree.add(
+                    parent_new,
+                    doc.label(nt.element(child)),
+                    nt.var(child),
+                );
+                map[child.index()] = new;
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DocIndex;
+    use crate::nesting::evaluate;
+    use axqa_query::parse_twig;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn from_nesting_tree_preserves_shape() {
+        let doc = parse_document(
+            "<d><a><p><k/></p><n/></a><a><p><k/><k/></p><n/></a></d>",
+        )
+        .unwrap();
+        let index = DocIndex::build(&doc);
+        let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        let tree = AnswerTree::from_nesting_tree(&doc, &nt);
+        assert_eq!(tree.len(), nt.len());
+        // Root has two a-children bound to q1.
+        let root_children = &tree.nodes()[0].children;
+        assert_eq!(root_children.len(), 2);
+        for &c in root_children {
+            let node = &tree.nodes()[c as usize];
+            assert_eq!(tree.labels().name(node.label), "a");
+            assert_eq!(node.var, QVar(1));
+        }
+        // Parent-before-child ordering.
+        for (i, node) in tree.nodes().iter().enumerate() {
+            for &c in &node.children {
+                assert!((c as usize) > i);
+            }
+        }
+    }
+
+    #[test]
+    fn manual_construction() {
+        let doc = parse_document("<r><a/></r>").unwrap();
+        let mut tree = AnswerTree::new(doc.labels().clone(), doc.label(doc.root()));
+        let a = doc.labels().get("a").unwrap();
+        let child = tree.add(tree.root(), a, QVar(1));
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.nodes()[0].children, vec![child]);
+        assert!(!tree.is_empty());
+    }
+}

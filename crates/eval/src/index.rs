@@ -1,0 +1,182 @@
+//! Structural-join index: pre-order ranks, subtree extents and per-label
+//! sorted position lists.
+//!
+//! With `pre(e)` the pre-order rank of element `e` and `size(e)` its
+//! subtree size, the descendants of `e` are exactly the elements with
+//! rank in `(pre(e), pre(e) + size(e))`. Keeping, for every label, the
+//! sorted list of ranks of its elements turns "descendants of `e` with
+//! label `l`" into a binary-searched slice — the lookup every `//l` step
+//! performs.
+
+use axqa_xml::{Document, LabelId, NodeId};
+
+/// Immutable evaluation index over one [`Document`].
+#[derive(Debug, Clone)]
+pub struct DocIndex {
+    /// `pre[node]` = pre-order rank of the node.
+    pre: Vec<u32>,
+    /// `order[rank]` = node with that pre-order rank.
+    order: Vec<NodeId>,
+    /// `size[node]` = subtree size (inclusive).
+    size: Vec<u32>,
+    /// `by_label[label]` = sorted pre-order ranks of elements with label.
+    by_label: Vec<Vec<u32>>,
+}
+
+impl DocIndex {
+    /// Builds the index in two linear passes.
+    pub fn build(doc: &Document) -> DocIndex {
+        let n = doc.len();
+        let mut pre = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        for (rank, node) in doc.pre_order().enumerate() {
+            pre[node.index()] = rank as u32;
+            order.push(node);
+        }
+        let mut size = vec![1u32; n];
+        for node in doc.post_order() {
+            for child in doc.children(node) {
+                size[node.index()] += size[child.index()];
+            }
+        }
+        let mut by_label = vec![Vec::new(); doc.labels().len()];
+        // Iterate in rank order so the per-label lists come out sorted.
+        for &node in &order {
+            by_label[doc.label(node).index()].push(pre[node.index()]);
+        }
+        DocIndex {
+            pre,
+            order,
+            size,
+            by_label,
+        }
+    }
+
+    /// Pre-order rank of `node`.
+    #[inline]
+    pub fn rank(&self, node: NodeId) -> u32 {
+        self.pre[node.index()]
+    }
+
+    /// Node at pre-order `rank`.
+    #[inline]
+    pub fn node_at(&self, rank: u32) -> NodeId {
+        self.order[rank as usize]
+    }
+
+    /// Subtree size of `node` (inclusive).
+    #[inline]
+    pub fn subtree_size(&self, node: NodeId) -> u32 {
+        self.size[node.index()]
+    }
+
+    /// Whether `ancestor` is a proper ancestor of `node`.
+    pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let a = self.rank(ancestor);
+        let n = self.rank(node);
+        n > a && n < a + self.subtree_size(ancestor)
+    }
+
+    /// The proper descendants of `context` with `label`, in document
+    /// order, as pre-order ranks.
+    pub fn descendants_with_label(&self, context: NodeId, label: LabelId) -> &[u32] {
+        let list = match self.by_label.get(label.index()) {
+            Some(list) => list.as_slice(),
+            None => return &[],
+        };
+        let lo = self.rank(context) + 1;
+        let hi = self.rank(context) + self.subtree_size(context); // exclusive
+        let start = list.partition_point(|&r| r < lo);
+        let end = list.partition_point(|&r| r < hi);
+        &list[start..end]
+    }
+
+    /// Number of elements carrying `label` in the whole document.
+    pub fn label_count(&self, label: LabelId) -> usize {
+        self.by_label.get(label.index()).map_or(0, Vec::len)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Always false: documents have at least a root.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_xml::parse_document;
+
+    fn sample() -> Document {
+        parse_document("<r><a><b/><a><b/><b/></a></a><b/><a/></r>").unwrap()
+    }
+
+    #[test]
+    fn ranks_are_preorder() {
+        let doc = sample();
+        let idx = DocIndex::build(&doc);
+        assert_eq!(idx.rank(doc.root()), 0);
+        for node in doc.node_ids() {
+            assert_eq!(idx.node_at(idx.rank(node)), node);
+        }
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let doc = sample();
+        let idx = DocIndex::build(&doc);
+        assert_eq!(idx.subtree_size(doc.root()) as usize, doc.len());
+        let first_a = doc.children(doc.root()).next().unwrap();
+        assert_eq!(idx.subtree_size(first_a), 5); // a, b, a, b, b
+    }
+
+    #[test]
+    fn descendant_lookup_matches_naive_scan() {
+        let doc = sample();
+        let idx = DocIndex::build(&doc);
+        let b = doc.labels().get("b").unwrap();
+        let a = doc.labels().get("a").unwrap();
+        for context in doc.node_ids() {
+            for label in [a, b] {
+                let fast: Vec<NodeId> = idx
+                    .descendants_with_label(context, label)
+                    .iter()
+                    .map(|&r| idx.node_at(r))
+                    .collect();
+                let naive: Vec<NodeId> = doc
+                    .subtree(context)
+                    .filter(|&n| n != context && doc.label(n) == label)
+                    .collect();
+                assert_eq!(fast, naive, "context {context:?} label {label:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_test() {
+        let doc = sample();
+        let idx = DocIndex::build(&doc);
+        let root = doc.root();
+        let first_a = doc.children(root).next().unwrap();
+        let inner_b = doc.children(first_a).next().unwrap();
+        assert!(idx.is_ancestor(root, inner_b));
+        assert!(idx.is_ancestor(first_a, inner_b));
+        assert!(!idx.is_ancestor(inner_b, first_a));
+        assert!(!idx.is_ancestor(first_a, first_a));
+    }
+
+    #[test]
+    fn label_counts() {
+        let doc = sample();
+        let idx = DocIndex::build(&doc);
+        let a = doc.labels().get("a").unwrap();
+        let b = doc.labels().get("b").unwrap();
+        assert_eq!(idx.label_count(a), 3);
+        assert_eq!(idx.label_count(b), 4);
+    }
+}

@@ -1,0 +1,325 @@
+//! Exact path matching with set semantics.
+//!
+//! [`PathMatcher`] evaluates a [`ResolvedPath`] relative to a context
+//! element: each step maps the current frontier to the children or
+//! descendants carrying the step's label, keeps only elements whose
+//! branching predicates are satisfiable, and de-duplicates (an element is
+//! bound once no matter how many embeddings reach it). Predicate
+//! satisfaction is memoized per `(element, predicate)` within a matcher,
+//! which makes the existential checks cheap across the many contexts one
+//! query evaluation probes.
+
+use crate::index::DocIndex;
+use axqa_xml::fxhash::FxHashMap;
+use axqa_xml::{Document, NodeId};
+use axqa_query::{Axis, ResolvedPath, ResolvedStep};
+
+/// Evaluator for resolved path expressions over one document.
+pub struct PathMatcher<'a> {
+    doc: &'a Document,
+    index: &'a DocIndex,
+    /// Memo of predicate existence checks: (element, predicate identity).
+    exists_memo: FxHashMap<(NodeId, usize), bool>,
+}
+
+impl<'a> PathMatcher<'a> {
+    /// Creates a matcher; the memo lives as long as the matcher.
+    pub fn new(doc: &'a Document, index: &'a DocIndex) -> Self {
+        PathMatcher {
+            doc,
+            index,
+            exists_memo: FxHashMap::default(),
+        }
+    }
+
+    /// The document this matcher evaluates over.
+    pub fn document(&self) -> &'a Document {
+        self.doc
+    }
+
+    /// The index this matcher evaluates with.
+    pub fn index(&self) -> &'a DocIndex {
+        self.index
+    }
+
+    /// All elements matching `path` relative to `context`, in document
+    /// order, without duplicates.
+    pub fn matches(&mut self, context: NodeId, path: &ResolvedPath) -> Vec<NodeId> {
+        let mut frontier = vec![context];
+        for step in &path.steps {
+            if frontier.is_empty() {
+                return frontier;
+            }
+            frontier = self.advance(&frontier, step);
+        }
+        frontier
+    }
+
+    /// Whether at least one element matches `path` relative to `context`.
+    pub fn exists(&mut self, context: NodeId, path: &ResolvedPath) -> bool {
+        self.exists_steps(context, &path.steps)
+    }
+
+    /// Advances a document-ordered frontier across one step, returning a
+    /// document-ordered, duplicate-free result.
+    fn advance(&mut self, frontier: &[NodeId], step: &ResolvedStep) -> Vec<NodeId> {
+        let Some(label) = step.label else {
+            return Vec::new();
+        };
+        let mut out: Vec<NodeId> = Vec::new();
+        match step.axis {
+            Axis::Child => {
+                for &context in frontier {
+                    for child in self.doc.children(context) {
+                        if self.doc.label(child) == label {
+                            out.push(child);
+                        }
+                    }
+                }
+                // A document-ordered frontier yields children sorted per
+                // context but possibly interleaved across contexts
+                // (nested contexts); sort by rank and dedup. Contexts are
+                // distinct so children via the child axis are distinct,
+                // but nested frontiers can both reach the same node only
+                // via descendant steps — dedup is still cheap insurance.
+                out.sort_unstable_by_key(|&n| self.index.rank(n));
+                out.dedup();
+            }
+            Axis::Descendant => {
+                for &context in frontier {
+                    out.extend(
+                        self.index
+                            .descendants_with_label(context, label)
+                            .iter()
+                            .map(|&r| self.index.node_at(r)),
+                    );
+                }
+                out.sort_unstable_by_key(|&n| self.index.rank(n));
+                out.dedup();
+            }
+        }
+        if !step.value_preds.is_empty() {
+            out.retain(|&n| {
+                let value = self.doc.value(n);
+                step.value_preds.iter().all(|p| p.test(value))
+            });
+        }
+        if !step.predicates.is_empty() {
+            out.retain(|&n| {
+                step.predicates
+                    .iter()
+                    .all(|p| self.exists_memoized(n, p))
+            });
+        }
+        out
+    }
+
+    fn exists_steps(&mut self, context: NodeId, steps: &[ResolvedStep]) -> bool {
+        let Some((step, rest)) = steps.split_first() else {
+            return true;
+        };
+        let Some(label) = step.label else {
+            return false;
+        };
+        match step.axis {
+            Axis::Child => {
+                let children: Vec<NodeId> = self
+                    .doc
+                    .children(context)
+                    .filter(|&c| self.doc.label(c) == label)
+                    .collect();
+                for child in children {
+                    if self.step_satisfied(child, step) && self.exists_steps(child, rest) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Axis::Descendant => {
+                let candidates: Vec<NodeId> = self
+                    .index
+                    .descendants_with_label(context, label)
+                    .iter()
+                    .map(|&r| self.index.node_at(r))
+                    .collect();
+                for cand in candidates {
+                    if self.step_satisfied(cand, step) && self.exists_steps(cand, rest) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn step_satisfied(&mut self, element: NodeId, step: &ResolvedStep) -> bool {
+        let value = self.doc.value(element);
+        step.value_preds.iter().all(|p| p.test(value))
+            && step
+                .predicates
+                .iter()
+                .all(|p| self.exists_memoized(element, p))
+    }
+
+    fn exists_memoized(&mut self, element: NodeId, predicate: &ResolvedPath) -> bool {
+        // Identity of the predicate object is stable for the lifetime of
+        // the query being evaluated; use its address as the memo key.
+        let key = (element, predicate as *const ResolvedPath as usize);
+        if let Some(&cached) = self.exists_memo.get(&key) {
+            return cached;
+        }
+        let result = self.exists_steps(element, &predicate.steps);
+        self.exists_memo.insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_query::parse_path;
+    use axqa_xml::parse_document;
+
+    fn setup(src: &str) -> (Document, DocIndex) {
+        let doc = parse_document(src).unwrap();
+        let index = DocIndex::build(&doc);
+        (doc, index)
+    }
+
+    fn match_labels(src: &str, path: &str) -> Vec<String> {
+        let (doc, index) = setup(src);
+        let resolved = parse_path(path).unwrap().resolve(doc.labels());
+        let mut matcher = PathMatcher::new(&doc, &index);
+        matcher
+            .matches(doc.root(), &resolved)
+            .into_iter()
+            .map(|n| format!("{}#{}", doc.label_name(n), n.0))
+            .collect()
+    }
+
+    #[test]
+    fn child_axis() {
+        let hits = match_labels("<r><a/><b/><a/></r>", "/a");
+        assert_eq!(hits, vec!["a#1", "a#3"]);
+    }
+
+    #[test]
+    fn descendant_axis_finds_nested() {
+        let hits = match_labels("<r><a><a><b/></a></a></r>", "//a");
+        assert_eq!(hits, vec!["a#1", "a#2"]);
+    }
+
+    #[test]
+    fn descendant_then_child_dedups() {
+        // Both a's contain the same nested b only once each; nested a's
+        // share descendants.
+        let hits = match_labels("<r><a><a><b/></a></a></r>", "//a//b");
+        assert_eq!(hits, vec!["b#3"]);
+    }
+
+    #[test]
+    fn predicates_filter() {
+        let hits = match_labels("<r><a><b/></a><a><c/></a></r>", "//a[b]");
+        assert_eq!(hits, vec!["a#1"]);
+        let hits = match_labels("<r><a><x><b/></x></a><a><b/></a></r>", "//a[//b]");
+        assert_eq!(hits, vec!["a#1", "a#4"]);
+        let hits = match_labels("<r><a><x><b/></x></a><a><b/></a></r>", "//a[/b]");
+        assert_eq!(hits, vec!["a#4"]);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let src = "<r><a><b><c/></b></a><a><b/></a></r>";
+        let hits = match_labels(src, "//a[b[c]]");
+        assert_eq!(hits, vec!["a#1"]);
+    }
+
+    #[test]
+    fn unresolved_label_matches_nothing() {
+        let hits = match_labels("<r><a/></r>", "//nosuch");
+        assert!(hits.is_empty());
+        let hits = match_labels("<r><a/></r>", "//a[nosuch]");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn exists_agrees_with_matches() {
+        let (doc, index) = setup("<r><a><b/></a><c><a/></c></r>");
+        for path_text in ["//a", "/a/b", "//a[b]", "//c//a", "//c/b"] {
+            let resolved = parse_path(path_text).unwrap().resolve(doc.labels());
+            let mut matcher = PathMatcher::new(&doc, &index);
+            let found = matcher.matches(doc.root(), &resolved);
+            assert_eq!(
+                matcher.exists(doc.root(), &resolved),
+                !found.is_empty(),
+                "{path_text}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_query_paths() {
+        // Paths from the paper's Figure 2 over the Figure 1 document
+        // shape: authors with books, their papers, keywords.
+        let src = "<d>\
+            <a><p><y/><t/><k/></p><p><y/><t/><k/><k/></p><n/></a>\
+            <a><n/><p><y/><t/><k/></p><b><t/></b></a>\
+            <a><n/><p><y/><t/><k/></p><b><t/></b></a>\
+            </d>";
+        let (doc, index) = setup(src);
+        let mut matcher = PathMatcher::new(&doc, &index);
+        let a_with_b = parse_path("//a[//b]").unwrap().resolve(doc.labels());
+        let hits = matcher.matches(doc.root(), &a_with_b);
+        assert_eq!(hits.len(), 2); // a2 and a3 have book descendants
+    }
+}
+
+#[cfg(test)]
+mod value_tests {
+    use super::*;
+    use crate::index::DocIndex;
+    use axqa_query::parse_path;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn value_predicates_filter_matches() {
+        let doc = parse_document(
+            "<bib><p><year>1992</year></p><p><year>2004</year></p><p><title/></p></bib>",
+        )
+        .unwrap();
+        let index = DocIndex::build(&doc);
+        let mut matcher = PathMatcher::new(&doc, &index);
+        let after_2000 = parse_path("//year[. > 2000]").unwrap().resolve(doc.labels());
+        assert_eq!(matcher.matches(doc.root(), &after_2000).len(), 1);
+        let any_year = parse_path("//year").unwrap().resolve(doc.labels());
+        assert_eq!(matcher.matches(doc.root(), &any_year).len(), 2);
+        // Elements without values never satisfy a value predicate.
+        let impossible = parse_path("//title[. = 0]").unwrap().resolve(doc.labels());
+        assert!(matcher.matches(doc.root(), &impossible).is_empty());
+    }
+
+    #[test]
+    fn value_predicates_inside_branch_predicates() {
+        let doc = parse_document(
+            "<bib><p><year>1992</year><k/></p><p><year>2004</year><k/><k/></p></bib>",
+        )
+        .unwrap();
+        let index = DocIndex::build(&doc);
+        let mut matcher = PathMatcher::new(&doc, &index);
+        // Papers published after 2000.
+        let path = parse_path("//p[year[. > 2000]]/k").unwrap().resolve(doc.labels());
+        assert_eq!(matcher.matches(doc.root(), &path).len(), 2);
+    }
+
+    #[test]
+    fn range_predicates() {
+        let doc = parse_document(
+            "<r><v>1</v><v>5</v><v>7</v><v>12</v></r>",
+        )
+        .unwrap();
+        let index = DocIndex::build(&doc);
+        let mut matcher = PathMatcher::new(&doc, &index);
+        let path = parse_path("/v[. >= 5][. < 12]").unwrap().resolve(doc.labels());
+        assert_eq!(matcher.matches(doc.root(), &path).len(), 2); // 5 and 7
+    }
+}

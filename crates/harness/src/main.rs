@@ -1,0 +1,134 @@
+//! `harness` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! harness <command> [options]
+//!
+//! commands:
+//!   table1 | table2 | table3 | fig11 | fig12 | fig13 | negative
+//!   ablation            bottom-up vs top-down construction
+//!   family              §3.1 synopsis-family sizes (A(k), 1-index, stable)
+//!   values              value-predicate estimation (extension)
+//!   all                 every experiment in order
+//!
+//! options:
+//!   --scale F           dataset scale multiplier (default 0.25; 1 = paper)
+//!   --queries N         workload size (default 200; paper = 1000)
+//!   --esd-queries N     queries used for ESD (default 100)
+//!   --budgets a,b,c     synopsis budgets in KB (default 10,20,30,40,50)
+//!   --seed N            RNG seed (default 0x5EED)
+//!   --threads N         worker threads (default: all cores)
+//!   --no-xsketch        skip the slow twig-XSketch baseline
+//!   --csv DIR           also write CSV files into DIR
+//! ```
+
+use axqa_harness::experiments::{
+    ablation_topdown, family, fig11, fig12, fig13, negative, table1, table2, table3, values,
+    ExperimentConfig,
+};
+use axqa_harness::PipelineConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("usage: harness <table1|table2|table3|fig11|fig12|fig13|negative|ablation|family|all> [options]");
+        return ExitCode::from(2);
+    };
+    let mut config = ExperimentConfig {
+        pipeline: PipelineConfig {
+            scale: 0.25,
+            queries: 200,
+            seed: 0x5EED,
+            threads: 0,
+            need_nesting: true,
+        },
+        ..ExperimentConfig::default()
+    };
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--scale" => config.pipeline.scale = parse(&value("--scale")),
+            "--queries" => config.pipeline.queries = parse(&value("--queries")),
+            "--esd-queries" => config.esd_queries = parse(&value("--esd-queries")),
+            "--seed" => config.pipeline.seed = parse(&value("--seed")),
+            "--threads" => config.pipeline.threads = parse(&value("--threads")),
+            "--no-xsketch" => config.with_xsketch = false,
+            "--budgets" => {
+                config.budgets_kb = value("--budgets")
+                    .split(',')
+                    .map(|s| parse::<usize>(s.trim()))
+                    .collect();
+            }
+            "--csv" => config.csv_dir = Some(value("--csv").into()),
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!(
+        "# axqa harness — scale {:.2}, {} queries, seed {:#x}, budgets {:?} KB{}",
+        config.pipeline.scale,
+        config.pipeline.queries,
+        config.pipeline.seed,
+        config.budgets_kb,
+        if config.with_xsketch { "" } else { ", no xsketch" },
+    );
+    let started = std::time::Instant::now();
+    match command.as_str() {
+        "table1" => print_one(table1(&config)),
+        "table2" => print_one(table2(&config)),
+        "table3" => print_one(table3(&config)),
+        "fig11" => print_many(fig11(&config)),
+        "fig12" => print_many(fig12(&config)),
+        "fig13" => print_one(fig13(&config)),
+        "negative" => print_one(negative(&config)),
+        "ablation" => print_one(ablation_topdown(&config)),
+        "family" => print_one(family(&config)),
+        "values" => print_one(values(&config)),
+        "all" => {
+            print_one(table1(&config));
+            print_one(table2(&config));
+            print_one(table3(&config));
+            print_many(fig11(&config));
+            print_many(fig12(&config));
+            print_one(fig13(&config));
+            print_one(negative(&config));
+            print_one(family(&config));
+            print_one(values(&config));
+            print_one(ablation_topdown(&config));
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            return ExitCode::from(2);
+        }
+    }
+    println!("# done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+fn print_one(table: axqa_harness::report::Table) {
+    println!("{}", table.render());
+}
+
+fn print_many(tables: Vec<axqa_harness::report::Table>) {
+    for table in tables {
+        println!("{}", table.render());
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("could not parse option value {text:?}");
+        std::process::exit(2);
+    })
+}

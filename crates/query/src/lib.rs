@@ -1,0 +1,21 @@
+//! # axqa-query — twig queries over node-labeled XML trees
+//!
+//! The paper (§2) models a twig query `Q` as a node-labeled *query tree*
+//! `T_Q`: nodes are query variables `q0, q1, …` (with `q0` bound to the
+//! document root), and every edge `(qi, qj)` carries an XPath expression
+//! `path(qi, qj)` built from the child (`/`) and descendant-or-self (`//`)
+//! axes plus existential branching predicates `[l̄]`. Dashed edges (the
+//! generalized-tree-pattern notation of Chen et al.) mark paths from the
+//! return clause that may be empty without nullifying the query.
+//!
+//! This crate provides the AST ([`PathExpr`], [`TwigQuery`]), parsers for
+//! a compact textual form, resolution of label strings against a
+//! document's [`axqa_xml::LabelTable`], and pretty-printing.
+
+pub mod parse;
+pub mod path;
+pub mod twig;
+
+pub use parse::{parse_path, parse_twig, QueryParseError};
+pub use path::{Axis, PathExpr, ResolvedPath, ResolvedStep, Step, ValueOp, ValuePred};
+pub use twig::{QVar, QueryNode, TwigQuery};

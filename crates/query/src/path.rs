@@ -1,0 +1,342 @@
+//! Path expressions: the XPath subset of §2.
+//!
+//! A [`PathExpr`] is a non-empty sequence of [`Step`]s. Each step selects
+//! elements with a given label along the child (`/`) or descendant
+//! (`//`) axis and may carry existential branching predicates `[l̄]`,
+//! each of which is itself a path expression evaluated relative to the
+//! step's element. The paper calls the predicate-free spine the *main
+//! path* (§4.3) and handles predicates separately in `EVALEMBED`.
+
+use axqa_xml::{LabelId, LabelTable};
+use std::fmt;
+
+/// Comparison operator of a value predicate (`[. > 1995]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl ValueOp {
+    /// The operator's textual form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ValueOp::Lt => "<",
+            ValueOp::Le => "<=",
+            ValueOp::Eq => "=",
+            ValueOp::Ge => ">=",
+            ValueOp::Gt => ">",
+        }
+    }
+
+    /// Applies the comparison.
+    pub fn test(self, value: f64, constant: f64) -> bool {
+        match self {
+            ValueOp::Lt => value < constant,
+            ValueOp::Le => value <= constant,
+            ValueOp::Eq => value == constant,
+            ValueOp::Ge => value >= constant,
+            ValueOp::Gt => value > constant,
+        }
+    }
+}
+
+/// A predicate on an element's numeric value: `[. op constant]` — the
+/// paper's declared future-work extension (§1 scopes values out of the
+/// core study). An element with no value never satisfies one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValuePred {
+    /// Comparison operator.
+    pub op: ValueOp,
+    /// Constant to compare against.
+    pub constant: f64,
+}
+
+impl ValuePred {
+    /// Whether `value` (if any) satisfies the predicate.
+    pub fn test(&self, value: Option<f64>) -> bool {
+        value.is_some_and(|v| self.op.test(v, self.constant))
+    }
+}
+
+impl fmt::Display for ValuePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[. {} {}]", self.op.as_str(), self.constant)
+    }
+}
+
+impl std::hash::Hash for ValuePred {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.op.hash(state);
+        self.constant.to_bits().hash(state);
+    }
+}
+
+impl Eq for ValuePred {}
+
+/// Navigation axis of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/label` — immediate children.
+    Child,
+    /// `//label` — descendants at any depth ≥ 1.
+    ///
+    /// Following the paper's examples (e.g. `//a` from the document root
+    /// selects *proper* descendants), the axis is interpreted as
+    /// "descendant", not "descendant-or-self", relative to the context
+    /// element.
+    Descendant,
+}
+
+impl Axis {
+    /// The textual prefix of the axis.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+        }
+    }
+}
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The axis connecting this step to the previous context.
+    pub axis: Axis,
+    /// Required element label.
+    pub label: String,
+    /// Existential branching predicates evaluated at this step.
+    pub predicates: Vec<PathExpr>,
+    /// Value predicates on the step's own element (`[. > c]`).
+    pub value_preds: Vec<ValuePred>,
+}
+
+impl Step {
+    /// A predicate-free step.
+    pub fn new(axis: Axis, label: impl Into<String>) -> Step {
+        Step {
+            axis,
+            label: label.into(),
+            predicates: Vec::new(),
+            value_preds: Vec::new(),
+        }
+    }
+}
+
+/// A path expression: one or more steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    /// The steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// Builds a path from steps.
+    ///
+    /// # Panics
+    /// Panics if `steps` is empty: a path has at least one step.
+    pub fn new(steps: Vec<Step>) -> PathExpr {
+        assert!(!steps.is_empty(), "a path expression has at least one step");
+        PathExpr { steps }
+    }
+
+    /// A single-step child path `/label`.
+    pub fn child(label: impl Into<String>) -> PathExpr {
+        PathExpr::new(vec![Step::new(Axis::Child, label)])
+    }
+
+    /// A single-step descendant path `//label`.
+    pub fn descendant(label: impl Into<String>) -> PathExpr {
+        PathExpr::new(vec![Step::new(Axis::Descendant, label)])
+    }
+
+    /// Appends a step, builder style.
+    pub fn then(mut self, axis: Axis, label: impl Into<String>) -> PathExpr {
+        self.steps.push(Step::new(axis, label));
+        self
+    }
+
+    /// Attaches a predicate to the *last* step, builder style.
+    pub fn with_predicate(mut self, predicate: PathExpr) -> PathExpr {
+        self.steps
+            .last_mut()
+            .expect("path has at least one step")
+            .predicates
+            .push(predicate);
+        self
+    }
+
+    /// The *main path*: this expression with all predicates stripped
+    /// (§4.3, `EVALQUERY` line 4).
+    pub fn main_path(&self) -> PathExpr {
+        PathExpr {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| Step::new(s.axis, s.label.clone()))
+                .collect(),
+        }
+    }
+
+    /// Attaches a value predicate to the *last* step, builder style.
+    pub fn with_value_pred(mut self, pred: ValuePred) -> PathExpr {
+        self.steps
+            .last_mut()
+            .expect("path has at least one step")
+            .value_preds
+            .push(pred);
+        self
+    }
+
+    /// Whether any step carries a predicate.
+    pub fn has_predicates(&self) -> bool {
+        self.steps.iter().any(|s| !s.predicates.is_empty())
+    }
+
+    /// Number of steps, counting predicate sub-paths recursively.
+    pub fn total_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| 1 + s.predicates.iter().map(PathExpr::total_steps).sum::<usize>())
+            .sum()
+    }
+
+    /// Resolves the label strings against a document's label table.
+    ///
+    /// Labels absent from the table resolve to `None`; any step with an
+    /// unresolved label can never match in that document (evaluators use
+    /// this to short-circuit to empty results rather than erroring).
+    pub fn resolve(&self, labels: &LabelTable) -> ResolvedPath {
+        ResolvedPath {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| ResolvedStep {
+                    axis: s.axis,
+                    label: labels.get(&s.label),
+                    predicates: s.predicates.iter().map(|p| p.resolve(labels)).collect(),
+                    value_preds: s.value_preds.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            write!(f, "{}{}", step.axis.as_str(), step.label)?;
+            for pred in &step.predicates {
+                write!(f, "[{pred}]")?;
+            }
+            for pred in &step.value_preds {
+                write!(f, "{pred}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`Step`] with its label resolved to a [`LabelId`] (or `None` when the
+/// label does not occur in the document).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedStep {
+    /// Axis of the step.
+    pub axis: Axis,
+    /// Resolved label, `None` if absent from the document.
+    pub label: Option<LabelId>,
+    /// Resolved predicates.
+    pub predicates: Vec<ResolvedPath>,
+    /// Value predicates (label-free; copied verbatim).
+    pub value_preds: Vec<ValuePred>,
+}
+
+/// A [`PathExpr`] resolved against a label table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPath {
+    /// Resolved steps, outermost first.
+    pub steps: Vec<ResolvedStep>,
+}
+
+impl ResolvedPath {
+    /// Whether every label (including inside predicates) resolved. A path
+    /// with any unresolved label matches nothing.
+    pub fn fully_resolved(&self) -> bool {
+        self.steps.iter().all(|s| {
+            s.label.is_some() && s.predicates.iter().all(ResolvedPath::fully_resolved)
+        })
+    }
+
+    /// The predicate-free spine.
+    pub fn main_path(&self) -> ResolvedPath {
+        ResolvedPath {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| ResolvedStep {
+                    axis: s.axis,
+                    label: s.label,
+                    predicates: Vec::new(),
+                    value_preds: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_xml::LabelTable;
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let p = PathExpr::descendant("a")
+            .with_predicate(PathExpr::descendant("b"))
+            .then(Axis::Child, "c");
+        assert_eq!(p.to_string(), "//a[//b]/c");
+    }
+
+    #[test]
+    fn main_path_strips_predicates() {
+        let p = PathExpr::descendant("a")
+            .with_predicate(PathExpr::child("g"))
+            .then(Axis::Descendant, "f");
+        assert_eq!(p.main_path().to_string(), "//a//f");
+        assert!(p.has_predicates());
+        assert!(!p.main_path().has_predicates());
+    }
+
+    #[test]
+    fn total_steps_counts_predicates() {
+        let p = PathExpr::child("d")
+            .with_predicate(PathExpr::child("g"))
+            .then(Axis::Descendant, "f");
+        assert_eq!(p.total_steps(), 3);
+    }
+
+    #[test]
+    fn resolve_marks_missing_labels() {
+        let mut labels = LabelTable::new();
+        labels.intern("a");
+        let p = PathExpr::descendant("a").then(Axis::Child, "zz");
+        let r = p.resolve(&labels);
+        assert!(!r.fully_resolved());
+        assert!(r.steps[0].label.is_some());
+        assert!(r.steps[1].label.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_path_rejected() {
+        let _ = PathExpr::new(vec![]);
+    }
+}

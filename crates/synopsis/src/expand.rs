@@ -1,0 +1,140 @@
+//! `Expand` (Lemma 3.1): materializing an XML tree from a count-stable
+//! summary.
+//!
+//! Count stability loses sibling *order* (two interleavings of the same
+//! child multiset collapse to one class), so the reconstructed tree is
+//! isomorphic to the original as an **unordered** tree: same label, same
+//! multiset of child subtrees, recursively. Tests verify isomorphism via
+//! the stable summary itself (two trees are unordered-isomorphic iff
+//! their stable summaries agree up to renumbering — we compare canonical
+//! forms).
+
+use crate::stable::{StableSummary, SynNodeId};
+use axqa_xml::{Document, NodeId};
+
+/// Materializes the document described by a count-stable summary.
+///
+/// The result has exactly `summary.total_elements()` nodes. Sibling
+/// order is canonical (children emitted in child-class id order), not
+/// the source document's.
+pub fn expand(summary: &StableSummary) -> Document {
+    let root_class = summary.root();
+    let root_label = summary.labels().name(summary.node(root_class).label);
+    let mut doc = Document::new(root_label);
+    // Pre-intern every label so ids line up with the summary's table.
+    for (_, name) in summary.labels().iter() {
+        doc.intern(name);
+    }
+    let root = doc.root();
+    expand_children(summary, root_class, &mut doc, root);
+    doc
+}
+
+fn expand_children(
+    summary: &StableSummary,
+    class: SynNodeId,
+    doc: &mut Document,
+    element: NodeId,
+) {
+    // Iterative worklist to avoid deep recursion on tall documents.
+    let mut work: Vec<(SynNodeId, NodeId)> = vec![(class, element)];
+    while let Some((class, element)) = work.pop() {
+        for &(child_class, k) in &summary.node(class).children {
+            let label = summary.node(child_class).label;
+            for _ in 0..k {
+                let child = doc.add_child(element, label);
+                work.push((child_class, child));
+            }
+        }
+    }
+}
+
+/// The number of elements `expand` would materialize for the subtree of
+/// one class (per extent element), without materializing it.
+pub fn expanded_subtree_size(summary: &StableSummary, class: SynNodeId) -> u64 {
+    // Classes are DAG-ordered (children before parents), so one forward
+    // scan suffices; compute sizes for all and index.
+    let mut sizes = vec![0u64; summary.len()];
+    for i in 0..summary.len() {
+        let node = summary.node(SynNodeId(i as u32));
+        let mut size = 1u64;
+        for &(child, k) in &node.children {
+            size = size.saturating_add((k as u64).saturating_mul(sizes[child.index()]));
+        }
+        sizes[i] = size;
+    }
+    sizes[class.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::build_stable;
+    use axqa_xml::parse_document;
+
+    /// Canonical form of a summary: nodes sorted by (depth, label,
+    /// signature) recursively — equal forms ⟺ unordered-isomorphic docs.
+    fn canonical(summary: &StableSummary) -> String {
+        // Compute a canonical string per class bottom-up.
+        let mut forms: Vec<String> = vec![String::new(); summary.len()];
+        for i in 0..summary.len() {
+            let node = summary.node(SynNodeId(i as u32));
+            let mut child_forms: Vec<String> = node
+                .children
+                .iter()
+                .map(|&(c, k)| format!("{}x{}", k, forms[c.index()]))
+                .collect();
+            child_forms.sort();
+            forms[i] = format!(
+                "{}({})[{}]",
+                summary.labels().name(node.label),
+                node.extent,
+                child_forms.join(",")
+            );
+        }
+        forms[summary.root().index()].clone()
+    }
+
+    #[test]
+    fn expand_roundtrips_structure() {
+        for src in [
+            "<a/>",
+            "<r><a><b/><b/></a><a><b/><b/></a></r>",
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a><a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+            "<r><l><l><l/></l></l></r>",
+        ] {
+            let doc = parse_document(src).unwrap();
+            let summary = build_stable(&doc);
+            let expanded = expand(&summary);
+            assert_eq!(expanded.len(), doc.len(), "size mismatch for {src}");
+            let summary2 = build_stable(&expanded);
+            assert_eq!(
+                canonical(&summary),
+                canonical(&summary2),
+                "not isomorphic for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn expand_ignores_sibling_order() {
+        let d1 = parse_document("<r><a/><b/><a/></r>").unwrap();
+        let d2 = parse_document("<r><a/><a/><b/></r>").unwrap();
+        let s1 = build_stable(&d1);
+        let s2 = build_stable(&d2);
+        assert_eq!(canonical(&s1), canonical(&s2));
+    }
+
+    #[test]
+    fn expanded_sizes_without_materializing() {
+        let doc = parse_document("<r><a><b/><b/></a><a><b/><b/></a></r>").unwrap();
+        let summary = build_stable(&doc);
+        assert_eq!(
+            expanded_subtree_size(&summary, summary.root()),
+            doc.len() as u64
+        );
+        let b = doc.labels().get("b").unwrap();
+        let b_class = summary.classes_with_label(b).next().unwrap();
+        assert_eq!(expanded_subtree_size(&summary, b_class), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Line-oriented text serialization for count-stable summaries.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! stable v1
+//! labels <n>
+//! label <id> <name>
+//! nodes <n> elements <total>
+//! node <id> <label-id> <extent>
+//! edge <from> <to> <k>
+//! ```
+//!
+//! The element → class assignment is not serialized (it is as large as
+//! the document); deserialized summaries support everything except
+//! [`StableSummary::class_of`]-style lookups, which callers that need
+//! them should recompute via `build_stable`.
+
+use crate::stable::{StableNode, StableSummary, SynNodeId};
+use axqa_xml::{LabelId, LabelTable};
+use std::fmt::Write as _;
+
+/// Serializes a summary (without the per-element assignment).
+pub fn to_text(summary: &StableSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "stable v1");
+    let _ = writeln!(out, "labels {}", summary.labels().len());
+    for (id, name) in summary.labels().iter() {
+        let _ = writeln!(out, "label {} {}", id.0, name);
+    }
+    let _ = writeln!(
+        out,
+        "nodes {} elements {}",
+        summary.len(),
+        summary.total_elements()
+    );
+    for (i, node) in summary.nodes().iter().enumerate() {
+        let _ = writeln!(out, "node {} {} {}", i, node.label.0, node.extent);
+        for &(child, k) in &node.children {
+            let _ = writeln!(out, "edge {} {} {}", i, child.0, k);
+        }
+    }
+    out
+}
+
+/// Deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableIoError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl std::fmt::Display for StableIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stable summary parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for StableIoError {}
+
+fn io_err(message: impl Into<String>, line: usize) -> StableIoError {
+    StableIoError {
+        message: message.into(),
+        line,
+    }
+}
+
+/// Parses the text format back into a summary (without assignment).
+pub fn from_text(text: &str) -> Result<StableSummary, StableIoError> {
+    let mut labels = LabelTable::new();
+    let mut nodes: Vec<StableNode> = Vec::new();
+    let mut total_elements = 0u64;
+    let mut seen_header = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "stable" => {
+                if parts.next() != Some("v1") {
+                    return Err(io_err("unsupported version", line));
+                }
+                seen_header = true;
+            }
+            "labels" => {}
+            "label" => {
+                let _id: u32 = next_num(&mut parts, line)?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| io_err("label needs a name", line))?;
+                labels.intern(name);
+            }
+            "nodes" => {
+                let n: usize = next_num(&mut parts, line)? as usize;
+                nodes.reserve(n);
+                if parts.next() == Some("elements") {
+                    total_elements = next_num(&mut parts, line)? as u64;
+                }
+            }
+            "node" => {
+                let id: u32 = next_num(&mut parts, line)?;
+                if id as usize != nodes.len() {
+                    return Err(io_err("node ids must be dense and in order", line));
+                }
+                let label: u32 = next_num(&mut parts, line)?;
+                let extent: u64 = next_num(&mut parts, line)? as u64;
+                if label as usize >= labels.len() {
+                    return Err(io_err("node references unknown label", line));
+                }
+                nodes.push(StableNode {
+                    label: LabelId(label),
+                    extent,
+                    children: Vec::new(),
+                    depth: 0,
+                });
+            }
+            "edge" => {
+                let from: u32 = next_num(&mut parts, line)?;
+                let to: u32 = next_num(&mut parts, line)?;
+                let k: u32 = next_num(&mut parts, line)?;
+                let from = from as usize;
+                if from >= nodes.len() || to as usize >= nodes.len() {
+                    return Err(io_err("edge references unknown node", line));
+                }
+                nodes[from].children.push((SynNodeId(to), k));
+            }
+            other => return Err(io_err(format!("unknown record {other:?}"), line)),
+        }
+    }
+    if !seen_header {
+        return Err(io_err("missing 'stable v1' header", 1));
+    }
+    if nodes.is_empty() {
+        return Err(io_err("summary has no nodes", 1));
+    }
+    // Recompute depths (edges point at smaller ids per the format).
+    let mut depths = vec![0u32; nodes.len()];
+    for i in 0..nodes.len() {
+        nodes[i].children.sort_unstable_by_key(|&(t, _)| t);
+        depths[i] = nodes[i]
+            .children
+            .iter()
+            .map(|&(t, _)| depths[t.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        nodes[i].depth = depths[i];
+    }
+    StableSummary::from_parts(labels, nodes, total_elements)
+        .map_err(|message| io_err(message, 1))
+}
+
+fn next_num<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<u32, StableIoError> {
+    parts
+        .next()
+        .ok_or_else(|| io_err("missing numeric field", line))?
+        .parse()
+        .map_err(|_| io_err("bad numeric field", line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::build_stable;
+    use axqa_xml::parse_document;
+
+    #[test]
+    fn roundtrip() {
+        let doc = parse_document(
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a><a><b><c/></b></a></r>",
+        )
+        .unwrap();
+        let summary = build_stable(&doc);
+        let text = to_text(&summary);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.len(), summary.len());
+        assert_eq!(back.num_edges(), summary.num_edges());
+        assert_eq!(back.total_elements(), summary.total_elements());
+        assert_eq!(back.root(), summary.root());
+        for (a, b) in back.nodes().iter().zip(summary.nodes()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.extent, b.extent);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.depth, b.depth);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_text("").is_err());
+        assert!(from_text("stable v2\n").is_err());
+        assert!(from_text("stable v1\nnode 0 0 1\n").is_err()); // unknown label
+        assert!(from_text("stable v1\nwhat 1 2\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let doc = parse_document("<r><a/></r>").unwrap();
+        let text = format!("# header comment\n\n{}", to_text(&build_stable(&doc)));
+        assert!(from_text(&text).is_ok());
+    }
+}

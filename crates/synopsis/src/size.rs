@@ -1,0 +1,84 @@
+//! Byte accounting for synopsis space budgets.
+//!
+//! The paper states every budget in kilobytes (10 KB … 50 KB summaries of
+//! multi-MB documents) without fixing a storage layout. We fix one and
+//! use it for *both* techniques so comparisons stay fair (DESIGN.md
+//! §4.1):
+//!
+//! * a synopsis **node** costs 8 bytes — label id (4) + element count (4);
+//! * a synopsis **edge** costs 8 bytes — target id (4) + average child
+//!   count as `f32` (4); twig-XSketch edges cost one extra byte for the
+//!   B/F stability flags;
+//! * a twig-XSketch **histogram bucket** costs 12 bytes — bucket key (4)
+//!   + frequency (4) + value (4).
+
+/// Byte costs of synopsis components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeModel {
+    /// Bytes per synopsis node.
+    pub node_bytes: usize,
+    /// Bytes per synopsis edge.
+    pub edge_bytes: usize,
+    /// Bytes per histogram bucket (twig-XSketch only).
+    pub bucket_bytes: usize,
+}
+
+impl SizeModel {
+    /// Model for TreeSketch synopses.
+    pub const TREESKETCH: SizeModel = SizeModel {
+        node_bytes: 8,
+        edge_bytes: 8,
+        bucket_bytes: 0,
+    };
+
+    /// Model for twig-XSketch synopses.
+    pub const XSKETCH: SizeModel = SizeModel {
+        node_bytes: 8,
+        edge_bytes: 9,
+        bucket_bytes: 12,
+    };
+
+    /// Size in bytes of a synopsis with the given component counts.
+    pub const fn bytes(&self, nodes: usize, edges: usize, buckets: usize) -> usize {
+        nodes * self.node_bytes + edges * self.edge_bytes + buckets * self.bucket_bytes
+    }
+
+    /// Convenience: size in bytes of a plain node/edge synopsis.
+    pub const fn graph_bytes(&self, nodes: usize, edges: usize) -> usize {
+        self.bytes(nodes, edges, 0)
+    }
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        SizeModel::TREESKETCH
+    }
+}
+
+/// Kilobytes → bytes for budget arithmetic (the paper's KB are 1024 B).
+pub const fn kb(kilobytes: usize) -> usize {
+    kilobytes * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn treesketch_accounting() {
+        let m = SizeModel::TREESKETCH;
+        assert_eq!(m.graph_bytes(10, 20), 10 * 8 + 20 * 8);
+        assert_eq!(m.bytes(10, 20, 99), m.graph_bytes(10, 20));
+    }
+
+    #[test]
+    fn xsketch_accounting_includes_buckets() {
+        let m = SizeModel::XSKETCH;
+        assert_eq!(m.bytes(2, 3, 4), 2 * 8 + 3 * 9 + 4 * 12);
+    }
+
+    #[test]
+    fn kb_is_1024() {
+        assert_eq!(kb(10), 10_240);
+    }
+}

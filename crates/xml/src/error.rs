@@ -1,0 +1,89 @@
+//! Error type for XML parsing and document construction.
+
+use std::fmt;
+
+/// Errors produced by [`crate::parse_document`] and tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended while an element was still open.
+    UnexpectedEof {
+        /// Tag of the innermost unclosed element, if any.
+        open_tag: Option<String>,
+    },
+    /// A closing tag did not match the innermost open element.
+    MismatchedTag {
+        /// Tag that was open.
+        expected: String,
+        /// Tag that was found.
+        found: String,
+        /// Byte offset of the offending closing tag.
+        offset: usize,
+    },
+    /// Content appeared outside the single document root.
+    MultipleRoots {
+        /// Byte offset of the second root element.
+        offset: usize,
+    },
+    /// The document contained no element at all.
+    EmptyDocument,
+    /// Malformed markup (bad tag name, unterminated construct, ...).
+    Malformed {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset of the problem.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { open_tag: Some(tag) } => {
+                write!(f, "unexpected end of input: element <{tag}> is still open")
+            }
+            XmlError::UnexpectedEof { open_tag: None } => {
+                write!(f, "unexpected end of input")
+            }
+            XmlError::MismatchedTag { expected, found, offset } => {
+                write!(f, "mismatched closing tag </{found}> at byte {offset}: expected </{expected}>")
+            }
+            XmlError::MultipleRoots { offset } => {
+                write!(f, "second root element at byte {offset}: a document has exactly one root")
+            }
+            XmlError::EmptyDocument => write!(f, "document contains no element"),
+            XmlError::Malformed { message, offset } => {
+                write!(f, "malformed XML at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = XmlError::MismatchedTag {
+            expected: "a".into(),
+            found: "b".into(),
+            offset: 17,
+        };
+        let text = err.to_string();
+        assert!(text.contains("</b>"));
+        assert!(text.contains("</a>"));
+        assert!(text.contains("17"));
+    }
+
+    #[test]
+    fn eof_with_and_without_tag() {
+        assert!(XmlError::UnexpectedEof { open_tag: Some("x".into()) }
+            .to_string()
+            .contains("<x>"));
+        assert!(!XmlError::UnexpectedEof { open_tag: None }
+            .to_string()
+            .contains('<'));
+    }
+}

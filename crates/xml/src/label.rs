@@ -1,0 +1,132 @@
+//! Label interning: element tags ↔ dense integer ids.
+//!
+//! Every algorithm in the workspace compares labels; interning them once
+//! makes those comparisons integer equality and lets per-label tables be
+//! plain vectors.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// Dense identifier of an interned element label (tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Interner mapping tag strings to [`LabelId`]s and back.
+///
+/// Ids are assigned densely in first-seen order, so `LabelId(i)` indexes
+/// directly into per-label vectors of length [`LabelTable::len`].
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    names: Vec<Box<str>>,
+    by_name: FxHashMap<Box<str>, LabelId>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("more than u32::MAX labels"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The tag string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a1 = t.intern("author");
+        let a2 = t.intern("author");
+        assert_eq!(a1, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let c = t.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(t.name(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = LabelTable::new();
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.len(), 0);
+        t.intern("present");
+        assert!(t.get("present").is_some());
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut t = LabelTable::new();
+        for name in ["x", "y", "z"] {
+            t.intern(name);
+        }
+        let collected: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # axqa-xml — node-labeled XML tree substrate
+//!
+//! The paper (§2) models an XML document as a large node-labeled tree
+//! `T(V, E)`: every node is an element with a label drawn from an alphabet
+//! of string literals, and edges capture element containment. Values and
+//! attributes are out of scope — the paper studies the *structural* part of
+//! approximate answering — so this crate stores structure only.
+//!
+//! The crate provides:
+//!
+//! * [`LabelTable`] / [`LabelId`] — an interner mapping element tags to
+//!   dense integer ids so that all downstream algorithms work on `u32`s.
+//! * [`Document`] / [`NodeId`] — an arena-allocated tree with O(1) child
+//!   append, parent links, and allocation-free traversal iterators.
+//! * [`parse`] / [`write`] — a minimal well-formed-subset XML parser and
+//!   writer (elements, the five predefined entities; comments, PIs and
+//!   CDATA are tolerated and skipped; text content carries no structure).
+//! * [`stats`] — document statistics used by the experiment harness.
+//! * [`fxhash`] — a tiny Fx-style hasher for integer-keyed maps (the
+//!   performance guide recommends a fast non-cryptographic hasher; the
+//!   crate implements the well-known `FxHasher` algorithm directly since
+//!   `rustc-hash` is not in the allowed dependency set).
+
+pub mod error;
+pub mod fxhash;
+pub mod label;
+pub mod parse;
+pub mod stats;
+pub mod tree;
+pub mod write;
+
+pub use error::XmlError;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use label::{LabelId, LabelTable};
+pub use parse::parse_document;
+pub use stats::DocStats;
+pub use tree::{Document, DocumentBuilder, NodeId};
+pub use write::{write_document, write_document_pretty};

@@ -1,0 +1,93 @@
+//! Document statistics used by the experiment harness (Table 1) and the
+//! dataset generators' self-checks.
+
+use crate::label::LabelId;
+use crate::tree::Document;
+use crate::write::serialized_len;
+
+/// Summary statistics of one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocStats {
+    /// Total element count (the paper's "Elements" column).
+    pub elements: usize,
+    /// Compact serialized size in bytes (the paper's "File Size" column).
+    pub file_bytes: usize,
+    /// Number of distinct labels.
+    pub distinct_labels: usize,
+    /// Tree height (max depth, root = 0).
+    pub height: u32,
+    /// Maximum fan-out over all nodes.
+    pub max_fanout: usize,
+    /// Mean fan-out over internal nodes, 0 if the tree is a single leaf.
+    pub mean_fanout: f64,
+    /// Per-label element counts, indexed by `LabelId`.
+    pub label_counts: Vec<usize>,
+}
+
+impl DocStats {
+    /// Computes statistics for `doc` in one pass.
+    pub fn compute(doc: &Document) -> DocStats {
+        let mut label_counts = vec![0usize; doc.labels().len()];
+        let mut max_fanout = 0usize;
+        let mut internal = 0usize;
+        let mut internal_children = 0usize;
+        for node in doc.pre_order() {
+            label_counts[doc.label(node).index()] += 1;
+            let fanout = doc.child_count(node);
+            max_fanout = max_fanout.max(fanout);
+            if fanout > 0 {
+                internal += 1;
+                internal_children += fanout;
+            }
+        }
+        DocStats {
+            elements: doc.len(),
+            file_bytes: serialized_len(doc),
+            distinct_labels: doc.labels().len(),
+            height: doc.height(),
+            max_fanout,
+            mean_fanout: if internal == 0 {
+                0.0
+            } else {
+                internal_children as f64 / internal as f64
+            },
+            label_counts,
+        }
+    }
+
+    /// Count of elements with the given label.
+    pub fn count_of(&self, label: LabelId) -> usize {
+        self.label_counts.get(label.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    #[test]
+    fn stats_on_small_doc() {
+        let doc = parse_document("<r><a><b/><b/></a><a/></r>").unwrap();
+        let stats = DocStats::compute(&doc);
+        assert_eq!(stats.elements, 5);
+        assert_eq!(stats.distinct_labels, 3);
+        assert_eq!(stats.height, 2);
+        assert_eq!(stats.max_fanout, 2);
+        let a = doc.labels().get("a").unwrap();
+        let b = doc.labels().get("b").unwrap();
+        assert_eq!(stats.count_of(a), 2);
+        assert_eq!(stats.count_of(b), 2);
+        // internal nodes: r (2 kids), first a (2 kids) → mean 2.0
+        assert!((stats.mean_fanout - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_leaf_document() {
+        let doc = parse_document("<only/>").unwrap();
+        let stats = DocStats::compute(&doc);
+        assert_eq!(stats.elements, 1);
+        assert_eq!(stats.height, 0);
+        assert_eq!(stats.mean_fanout, 0.0);
+    }
+}

@@ -1,0 +1,555 @@
+//! Arena-allocated node-labeled tree (the paper's `T(V, E)`).
+//!
+//! Nodes live in a single `Vec`; sibling lists are intrusive
+//! (`first_child` / `last_child` / `next_sibling` links) so appending a
+//! child is O(1) and traversal allocates nothing. Every node stores its
+//! parent, which the nesting-tree machinery and the ESD metric both need.
+
+use crate::label::{LabelId, LabelTable};
+
+/// Identifier of a node inside one [`Document`]; also its pre-order rank
+/// when the document was built top-down (as parser and generators do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: LabelId,
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
+}
+
+/// A node-labeled ordered tree with interned labels.
+///
+/// Leaf elements may carry a numeric *value* (the paper's §1 scopes
+/// values out of the core study; this substrate supports them for the
+/// value-predicate extension). Values are stored sparsely.
+#[derive(Debug, Clone)]
+pub struct Document {
+    labels: LabelTable,
+    nodes: Vec<NodeData>,
+    /// Sparse numeric leaf values, sorted by node id.
+    values: Vec<(u32, f64)>,
+}
+
+impl Document {
+    /// Creates a document containing only a root labeled `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        let mut labels = LabelTable::new();
+        let label = labels.intern(root_label);
+        Document {
+            labels,
+            nodes: vec![NodeData {
+                label,
+                parent: NONE,
+                first_child: NONE,
+                last_child: NONE,
+                next_sibling: NONE,
+            }],
+            values: Vec::new(),
+        }
+    }
+
+    /// The numeric value of `node`, if one was assigned.
+    pub fn value(&self, node: NodeId) -> Option<f64> {
+        self.values
+            .binary_search_by_key(&node.0, |&(n, _)| n)
+            .ok()
+            .map(|i| self.values[i].1)
+    }
+
+    /// Assigns (or overwrites) the numeric value of `node`.
+    pub fn set_value(&mut self, node: NodeId, value: f64) {
+        match self.values.binary_search_by_key(&node.0, |&(n, _)| n) {
+            Ok(i) => self.values[i].1 = value,
+            Err(i) => self.values.insert(i, (node.0, value)),
+        }
+    }
+
+    /// Number of nodes carrying a value.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The root node (always `NodeId(0)`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of element nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document holds only its root. (A document is never
+    /// entirely empty.)
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The label table.
+    #[inline]
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Interns a tag in this document's label table.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        self.labels.intern(name)
+    }
+
+    /// The label id of `node`.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> LabelId {
+        self.nodes[node.index()].label
+    }
+
+    /// The tag string of `node`.
+    #[inline]
+    pub fn label_name(&self, node: NodeId) -> &str {
+        self.labels.name(self.label(node))
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.nodes[node.index()].parent;
+        (p != NONE).then_some(NodeId(p))
+    }
+
+    /// Whether `node` has no children.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].first_child == NONE
+    }
+
+    /// Appends a child labeled `label` under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: NodeId, label: LabelId) -> NodeId {
+        let id = u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes");
+        self.nodes.push(NodeData {
+            label,
+            parent: parent.0,
+            first_child: NONE,
+            last_child: NONE,
+            next_sibling: NONE,
+        });
+        let pdata = &mut self.nodes[parent.index()];
+        if pdata.last_child == NONE {
+            pdata.first_child = id;
+            pdata.last_child = id;
+        } else {
+            let prev = pdata.last_child;
+            pdata.last_child = id;
+            self.nodes[prev as usize].next_sibling = id;
+        }
+        NodeId(id)
+    }
+
+    /// Appends a child by tag string (interning it first).
+    pub fn add_child_named(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let label = self.labels.intern(name);
+        self.add_child(parent, label)
+    }
+
+    /// Iterates the children of `node` in document order.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.nodes[node.index()].first_child,
+        }
+    }
+
+    /// Number of children of `node` (O(children)).
+    pub fn child_count(&self, node: NodeId) -> usize {
+        self.children(node).count()
+    }
+
+    /// Pre-order traversal of the whole document.
+    pub fn pre_order(&self) -> PreOrder<'_> {
+        PreOrder {
+            doc: self,
+            stack: vec![self.root()],
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `node` (inclusive).
+    pub fn subtree(&self, node: NodeId) -> PreOrder<'_> {
+        PreOrder {
+            doc: self,
+            stack: vec![node],
+        }
+    }
+
+    /// Post-order traversal of the whole document. `BUILDSTABLE` (§4.1)
+    /// visits elements in exactly this order.
+    pub fn post_order(&self) -> PostOrder<'_> {
+        PostOrder::new(self, self.root())
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (inclusive).
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        self.subtree(node).count()
+    }
+
+    /// Depth of every node (root = 0), indexed by `NodeId`.
+    pub fn depths(&self) -> Vec<u32> {
+        let mut depths = vec![0u32; self.nodes.len()];
+        for node in self.pre_order() {
+            if let Some(parent) = self.parent(node) {
+                depths[node.index()] = depths[parent.index()] + 1;
+            }
+        }
+        depths
+    }
+
+    /// Height of the tree: the maximum node depth.
+    pub fn height(&self) -> u32 {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// The paper's *depth* of an element (§4.2, CREATEPOOL): 0 for a leaf,
+    /// else `1 + max(depth of children)` — i.e. the longest downward path
+    /// to a leaf. Returned for every node, indexed by `NodeId`.
+    pub fn leaf_depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.nodes.len()];
+        for node in self.post_order() {
+            let best = self
+                .children(node)
+                .map(|c| depth[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[node.index()] = best;
+        }
+        depth
+    }
+
+    /// Iterates all node ids in arena order (== creation order).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == NONE {
+            return None;
+        }
+        let id = NodeId(self.next);
+        self.next = self.doc.nodes[id.index()].next_sibling;
+        Some(id)
+    }
+}
+
+/// Pre-order (document-order) traversal.
+pub struct PreOrder<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for PreOrder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        // Push children in reverse so the leftmost pops first.
+        let mut children: Vec<NodeId> = self.doc.children(node).collect();
+        children.reverse();
+        self.stack.extend(children);
+        Some(node)
+    }
+}
+
+/// Iterative post-order traversal (children before parents).
+pub struct PostOrder<'a> {
+    doc: &'a Document,
+    /// (node, expanded?) — a node is yielded when popped in expanded state.
+    stack: Vec<(NodeId, bool)>,
+}
+
+impl<'a> PostOrder<'a> {
+    fn new(doc: &'a Document, root: NodeId) -> Self {
+        PostOrder {
+            doc,
+            stack: vec![(root, false)],
+        }
+    }
+}
+
+impl Iterator for PostOrder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let (node, expanded) = self.stack.pop()?;
+            if expanded {
+                return Some(node);
+            }
+            self.stack.push((node, true));
+            let base = self.stack.len();
+            self.stack
+                .extend(self.doc.children(node).map(|c| (c, false)));
+            self.stack[base..].reverse();
+        }
+    }
+}
+
+/// Stack-based builder for constructing documents top-down, used by the
+/// parser and the dataset generators.
+///
+/// ```
+/// use axqa_xml::DocumentBuilder;
+/// let mut b = DocumentBuilder::new("bib");
+/// b.open("author");
+/// b.leaf("name");
+/// b.close();
+/// let doc = b.finish();
+/// assert_eq!(doc.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl DocumentBuilder {
+    /// Starts a document whose root is labeled `root_label`; the root is
+    /// the initially open element.
+    pub fn new(root_label: &str) -> Self {
+        let doc = Document::new(root_label);
+        let root = doc.root();
+        DocumentBuilder {
+            doc,
+            stack: vec![root],
+        }
+    }
+
+    /// Opens a new element under the current one; it becomes current.
+    pub fn open(&mut self, name: &str) -> NodeId {
+        let parent = *self.stack.last().expect("builder stack never empty");
+        let id = self.doc.add_child_named(parent, name);
+        self.stack.push(id);
+        id
+    }
+
+    /// Adds an empty element under the current one (open + close).
+    pub fn leaf(&mut self, name: &str) -> NodeId {
+        let parent = *self.stack.last().expect("builder stack never empty");
+        self.doc.add_child_named(parent, name)
+    }
+
+    /// Adds a leaf carrying a numeric value.
+    pub fn leaf_with_value(&mut self, name: &str, value: f64) -> NodeId {
+        let id = self.leaf(name);
+        self.doc.set_value(id, value);
+        id
+    }
+
+    /// Assigns a numeric value to the currently open element (used by
+    /// the parser when a leaf's text content is numeric).
+    pub fn set_current_value(&mut self, value: f64) {
+        let current = self.current();
+        self.doc.set_value(current, value);
+    }
+
+    /// Whether the currently open element has no children yet.
+    pub fn current_is_leaf(&self) -> bool {
+        self.doc.is_leaf(self.current())
+    }
+
+    /// Closes the current element.
+    ///
+    /// # Panics
+    /// Panics on an attempt to close the root.
+    pub fn close(&mut self) {
+        assert!(self.stack.len() > 1, "cannot close the document root");
+        self.stack.pop();
+    }
+
+    /// Depth of the currently open element (root = 0).
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// The currently open element.
+    pub fn current(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Nodes built so far.
+    pub fn len(&self) -> usize {
+        self.doc.len()
+    }
+
+    /// Whether only the root exists so far.
+    pub fn is_empty(&self) -> bool {
+        self.doc.is_empty()
+    }
+
+    /// Finishes the document, implicitly closing any open elements.
+    pub fn finish(self) -> Document {
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the example bibliography document of the paper's Figure 1.
+    pub(crate) fn figure1_document() -> Document {
+        let mut b = DocumentBuilder::new("d");
+        // a1: p(y,t,k), p(y,t,k,k), n
+        b.open("a");
+        b.open("p");
+        b.leaf("y");
+        b.leaf("t");
+        b.leaf("k");
+        b.close();
+        b.open("p");
+        b.leaf("y");
+        b.leaf("t");
+        b.leaf("k");
+        b.leaf("k");
+        b.close();
+        b.leaf("n");
+        b.close();
+        // a2: n, p(y,t,k), b(t)
+        b.open("a");
+        b.leaf("n");
+        b.open("p");
+        b.leaf("y");
+        b.leaf("t");
+        b.leaf("k");
+        b.close();
+        b.open("b");
+        b.leaf("t");
+        b.close();
+        b.close();
+        // a3: n, p(y,t,k), b(t)
+        b.open("a");
+        b.leaf("n");
+        b.open("p");
+        b.leaf("y");
+        b.leaf("t");
+        b.leaf("k");
+        b.close();
+        b.open("b");
+        b.leaf("t");
+        b.close();
+        b.close();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let doc = figure1_document();
+        // d + 3 a + 4 p + 3 y+3 t(p)+5 k + 3 n + 2 b + 2 t(b) ... count:
+        // a1: a,p,y,t,k,p,y,t,k,k,n = 11
+        // a2: a,n,p,y,t,k,b,t = 8
+        // a3: 8  → total 1 + 11 + 8 + 8 = 28
+        assert_eq!(doc.len(), 28);
+        let root = doc.root();
+        assert_eq!(doc.label_name(root), "d");
+        assert_eq!(doc.child_count(root), 3);
+        for a in doc.children(root) {
+            assert_eq!(doc.label_name(a), "a");
+            assert_eq!(doc.parent(a), Some(root));
+        }
+    }
+
+    #[test]
+    fn children_in_document_order() {
+        let mut doc = Document::new("r");
+        let l = doc.intern("x");
+        let c1 = doc.add_child(doc.root(), l);
+        let c2 = doc.add_child(doc.root(), l);
+        let c3 = doc.add_child(doc.root(), l);
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids, vec![c1, c2, c3]);
+    }
+
+    #[test]
+    fn pre_order_visits_parent_before_children() {
+        let doc = figure1_document();
+        let order: Vec<_> = doc.pre_order().collect();
+        assert_eq!(order.len(), doc.len());
+        let mut position = vec![0usize; doc.len()];
+        for (i, n) in order.iter().enumerate() {
+            position[n.index()] = i;
+        }
+        for n in doc.node_ids() {
+            if let Some(p) = doc.parent(n) {
+                assert!(position[p.index()] < position[n.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn post_order_visits_children_before_parent() {
+        let doc = figure1_document();
+        let order: Vec<_> = doc.post_order().collect();
+        assert_eq!(order.len(), doc.len());
+        let mut position = vec![0usize; doc.len()];
+        for (i, n) in order.iter().enumerate() {
+            position[n.index()] = i;
+        }
+        for n in doc.node_ids() {
+            if let Some(p) = doc.parent(n) {
+                assert!(position[p.index()] > position[n.index()]);
+            }
+        }
+        assert_eq!(*order.last().unwrap(), doc.root());
+    }
+
+    #[test]
+    fn subtree_sizes_and_height() {
+        let doc = figure1_document();
+        assert_eq!(doc.subtree_size(doc.root()), 28);
+        let first_a = doc.children(doc.root()).next().unwrap();
+        assert_eq!(doc.subtree_size(first_a), 11);
+        assert_eq!(doc.height(), 3); // d → a → p → y
+    }
+
+    #[test]
+    fn leaf_depths_match_paper_definition() {
+        let doc = figure1_document();
+        let depth = doc.leaf_depths();
+        assert_eq!(depth[doc.root().index()], 3);
+        for n in doc.node_ids() {
+            if doc.is_leaf(n) {
+                assert_eq!(depth[n.index()], 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot close the document root")]
+    fn closing_root_panics() {
+        let mut b = DocumentBuilder::new("r");
+        b.close();
+    }
+}

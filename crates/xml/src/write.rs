@@ -1,0 +1,106 @@
+//! XML serialization of structural documents.
+//!
+//! The writer produces well-formed XML with empty elements self-closed.
+//! `write_document` is the compact form used to measure the "file size"
+//! column of Table 1; `write_document_pretty` indents for human reading.
+
+use crate::tree::{Document, NodeId};
+use std::fmt::Write as _;
+
+/// Serializes `doc` compactly (no whitespace between elements).
+pub fn write_document(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 8);
+    write_node(doc, doc.root(), &mut out, None, 0);
+    out
+}
+
+/// Serializes `doc` with two-space indentation per depth level.
+pub fn write_document_pretty(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 12);
+    write_node(doc, doc.root(), &mut out, Some(2), 0);
+    out
+}
+
+fn write_node(doc: &Document, node: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(step) = indent {
+            for _ in 0..depth * step {
+                out.push(' ');
+            }
+        }
+    };
+    let name = doc.label_name(node);
+    pad(out, depth);
+    if doc.is_leaf(node) {
+        match doc.value(node) {
+            Some(v) => {
+                let _ = write!(out, "<{name}>{v}</{name}>");
+            }
+            None => {
+                let _ = write!(out, "<{name}/>");
+            }
+        }
+        if indent.is_some() {
+            out.push('\n');
+        }
+        return;
+    }
+    let _ = write!(out, "<{name}>");
+    if indent.is_some() {
+        out.push('\n');
+    }
+    for child in doc.children(node) {
+        write_node(doc, child, out, indent, depth + 1);
+    }
+    pad(out, depth);
+    let _ = write!(out, "</{name}>");
+    if indent.is_some() {
+        out.push('\n');
+    }
+}
+
+/// The serialized byte length of the compact form, the paper's notion of
+/// "file size" for Table 1.
+pub fn serialized_len(doc: &Document) -> usize {
+    let mut total = 0usize;
+    for node in doc.pre_order() {
+        let name_len = doc.label_name(node).len();
+        if doc.is_leaf(node) {
+            match doc.value(node) {
+                Some(v) => total += 2 * name_len + 5 + format!("{v}").len(),
+                None => total += name_len + 3, // <name/>
+            }
+        } else {
+            total += 2 * name_len + 5; // <name></name>
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = "<a><b><c/></b><b/></a>";
+        let doc = parse_document(src).unwrap();
+        assert_eq!(write_document(&doc), src);
+    }
+
+    #[test]
+    fn pretty_reparses_identically() {
+        let doc = parse_document("<a><b><c/><c/></b></a>").unwrap();
+        let pretty = write_document_pretty(&doc);
+        let doc2 = parse_document(&pretty).unwrap();
+        assert_eq!(write_document(&doc2), write_document(&doc));
+        assert!(pretty.contains("\n  <b>"));
+    }
+
+    #[test]
+    fn serialized_len_matches_actual_output() {
+        let doc = parse_document("<root><x><y/></x><z/></root>").unwrap();
+        assert_eq!(serialized_len(&doc), write_document(&doc).len());
+    }
+}

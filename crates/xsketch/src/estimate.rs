@@ -1,0 +1,355 @@
+//! Twig selectivity estimation over a twig-XSketch.
+//!
+//! Follows the published twig-XSketch estimation framework: main-path
+//! descendant counts multiply histogram means edge by edge; branching
+//! predicates use the *histogram* where it helps — for a one-step branch
+//! the joint histogram gives the exact fraction of elements with at
+//! least one matching child (`P(any c_i ≥ 1)`), capturing correlations
+//! the TreeSketch average cannot — and fall back to
+//! inclusion–exclusion over expected fractions for deeper branches,
+//! under the same path-independence assumptions as §4.3.
+//!
+//! Value predicates (`[. op c]`, the TreeSketch-side extension) are
+//! *ignored* by this baseline — it has no value summaries, matching the
+//! original twig-XSketch's structural scope — so estimates for
+//! value-selective twigs are structural upper bounds.
+
+use crate::sketch::{XSketch, XsNodeId};
+use axqa_query::{Axis, QVar, ResolvedPath, ResolvedStep, TwigQuery};
+use axqa_xml::fxhash::FxHashMap;
+
+/// Estimation knobs (mirrors `axqa_core::EvalConfig`).
+#[derive(Debug, Clone)]
+pub struct XsEvalConfig {
+    /// Max synopsis edges one descendant step may traverse; `None` uses
+    /// the synopsis height + 1.
+    pub max_descendant_depth: Option<u32>,
+    /// Prune embeddings below this accumulated count.
+    pub epsilon: f64,
+}
+
+impl Default for XsEvalConfig {
+    fn default() -> Self {
+        XsEvalConfig {
+            max_descendant_depth: None,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Estimates the number of binding tuples of `query`; 0.0 when a
+/// required variable has no bindings.
+pub fn xs_estimate_selectivity(
+    sketch: &XSketch,
+    query: &TwigQuery,
+    config: &XsEvalConfig,
+) -> f64 {
+    let labels = sketch.labels();
+    let resolved: Vec<ResolvedPath> = query
+        .vars()
+        .skip(1)
+        .map(|v| query.node(v).path.resolve(labels))
+        .collect();
+    let walker = XsWalker {
+        sketch,
+        epsilon: config.epsilon,
+        max_depth: config
+            .max_descendant_depth
+            .unwrap_or_else(|| sketch.height() + 1),
+    };
+
+    // Result graph keyed by (node, var), as in EVALQUERY.
+    struct RNode {
+        xs: XsNodeId,
+        var: QVar,
+        edges: Vec<(u32, f64)>,
+    }
+    let mut nodes: Vec<RNode> = vec![RNode {
+        xs: sketch.root(),
+        var: QVar::ROOT,
+        edges: Vec::new(),
+    }];
+    let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); query.num_vars()];
+    by_var[0].push(0);
+    let mut index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    index.insert((sketch.root().0, 0), 0);
+
+    for var in query.vars() {
+        for qc in query.children(var) {
+            let path = &resolved[qc.index() - 1];
+            let bind = by_var[var.index()].clone();
+            for uq in bind {
+                let context = nodes[uq as usize].xs;
+                let counts = walker.path_counts(context, &path.steps);
+                let mut sorted: Vec<(XsNodeId, f64)> = counts.into_iter().collect();
+                sorted.sort_unstable_by_key(|&(v, _)| v);
+                for (v, k) in sorted {
+                    if k <= config.epsilon {
+                        continue;
+                    }
+                    let key = (v.0, qc.0);
+                    let vq = match index.get(&key) {
+                        Some(&vq) => vq,
+                        None => {
+                            let vq = nodes.len() as u32;
+                            nodes.push(RNode {
+                                xs: v,
+                                var: qc,
+                                edges: Vec::new(),
+                            });
+                            index.insert(key, vq);
+                            by_var[qc.index()].push(vq);
+                            vq
+                        }
+                    };
+                    let edges = &mut nodes[uq as usize].edges;
+                    match edges.iter_mut().find(|(t, _)| *t == vq) {
+                        Some((_, c)) => *c += k,
+                        None => edges.push((vq, k)),
+                    }
+                }
+            }
+        }
+    }
+
+    for var in query.vars().skip(1) {
+        if query.effectively_required(var) && by_var[var.index()].is_empty() {
+            return 0.0;
+        }
+    }
+
+    // Bottom-up tuple counting (identical to §4.4).
+    let mut tuples = vec![0.0f64; nodes.len()];
+    for i in (0..nodes.len()).rev() {
+        let node = &nodes[i];
+        let mut product = 1.0f64;
+        for qc in query.children(node.var) {
+            let sum: f64 = node
+                .edges
+                .iter()
+                .filter(|&&(t, _)| nodes[t as usize].var == qc)
+                .map(|&(t, k)| k * tuples[t as usize])
+                .sum();
+            product *= if query.node(qc).optional {
+                sum.max(1.0)
+            } else {
+                sum
+            };
+        }
+        tuples[i] = product;
+    }
+    tuples[0]
+}
+
+/// Path walker over a twig-XSketch (histogram-aware).
+pub(crate) struct XsWalker<'a> {
+    pub(crate) sketch: &'a XSketch,
+    pub(crate) epsilon: f64,
+    pub(crate) max_depth: u32,
+}
+
+impl XsWalker<'_> {
+    /// Per-endpoint descendant counts of `steps` from `from`.
+    pub(crate) fn path_counts(
+        &self,
+        from: XsNodeId,
+        steps: &[ResolvedStep],
+    ) -> FxHashMap<XsNodeId, f64> {
+        let mut out = FxHashMap::default();
+        self.walk(from, steps, 1.0, &mut out);
+        out
+    }
+
+    fn walk(
+        &self,
+        node: XsNodeId,
+        steps: &[ResolvedStep],
+        acc: f64,
+        out: &mut FxHashMap<XsNodeId, f64>,
+    ) {
+        let Some((step, rest)) = steps.split_first() else {
+            *out.entry(node).or_insert(0.0) += acc;
+            return;
+        };
+        let Some(label) = step.label else { return };
+        match step.axis {
+            Axis::Child => {
+                // Histogram-aware child step with predicates on the
+                // *source* histogram where the branch is one child step.
+                for (dim, edge) in self.sketch.node(node).edges.iter().enumerate() {
+                    if self.sketch.node(edge.target).label != label {
+                        continue;
+                    }
+                    let _ = dim;
+                    let scaled =
+                        acc * edge.avg * self.step_selectivity(edge.target, step);
+                    if scaled > self.epsilon {
+                        self.walk(edge.target, rest, scaled, out);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                self.descend(node, step, label, rest, acc, self.max_depth, out);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        node: XsNodeId,
+        step: &ResolvedStep,
+        label: axqa_xml::LabelId,
+        rest: &[ResolvedStep],
+        acc: f64,
+        depth_left: u32,
+        out: &mut FxHashMap<XsNodeId, f64>,
+    ) {
+        if depth_left == 0 {
+            return;
+        }
+        for edge in &self.sketch.node(node).edges {
+            let scaled = acc * edge.avg;
+            if scaled <= self.epsilon {
+                continue;
+            }
+            if self.sketch.node(edge.target).label == label {
+                let here = scaled * self.step_selectivity(edge.target, step);
+                if here > self.epsilon {
+                    self.walk(edge.target, rest, here, out);
+                }
+            }
+            self.descend(edge.target, step, label, rest, scaled, depth_left - 1, out);
+        }
+    }
+
+    pub(crate) fn step_selectivity(&self, node: XsNodeId, step: &ResolvedStep) -> f64 {
+        let mut s = 1.0;
+        for predicate in &step.predicates {
+            s *= self.branch_selectivity(node, predicate);
+            if s <= self.epsilon {
+                return 0.0;
+            }
+        }
+        s
+    }
+
+    /// Branch selectivity at `node`. One-child-step branches read the
+    /// joint histogram exactly; anything deeper recurses with the
+    /// independence fall-back of §4.3.
+    pub(crate) fn branch_selectivity(&self, node: XsNodeId, predicate: &ResolvedPath) -> f64 {
+        if predicate.steps.len() == 1 {
+            let step = &predicate.steps[0];
+            if step.axis == Axis::Child && step.predicates.is_empty() {
+                let Some(label) = step.label else { return 0.0 };
+                let xnode = self.sketch.node(node);
+                let dims: Vec<usize> = xnode
+                    .edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| self.sketch.node(e.target).label == label)
+                    .map(|(dim, _)| dim)
+                    .collect();
+                if dims.is_empty() {
+                    return 0.0;
+                }
+                return xnode.histogram.prob_any_ge1(&dims);
+            }
+        }
+        let counts = self.path_counts(node, &predicate.steps);
+        if counts.is_empty() {
+            return 0.0;
+        }
+        if counts.values().any(|&k| k >= 1.0) {
+            return 1.0;
+        }
+        let miss: f64 = counts.values().map(|&k| 1.0 - k.clamp(0.0, 1.0)).product();
+        (1.0 - miss).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::XSketch;
+    use axqa_eval::{selectivity as exact_selectivity, DocIndex};
+    use axqa_query::parse_twig;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    fn full_partition(stable: &axqa_synopsis::StableSummary) -> (Vec<u32>, usize) {
+        ((0..stable.len() as u32).collect(), stable.len())
+    }
+
+    #[test]
+    fn exact_on_uncompressed_partition() {
+        let doc = parse_document(
+            "<d><a><p><k/></p><p><k/><k/></p><n/></a>\
+             <a><n/><p><k/></p><b><t/></b></a></d>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let (partition, n) = full_partition(&stable);
+        let xs = XSketch::from_partition(&stable, &partition, n, 10_000);
+        let index = DocIndex::build(&doc);
+        for twig in [
+            "q1: q0 //a\nq2: q1 //p\nq3: q2 //k",
+            "q1: q0 //a[//b]\nq2: q1 //p",
+            "q1: q0 //a[n]\nq2: q1 //k",
+        ] {
+            let query = parse_twig(twig).unwrap();
+            let exact = exact_selectivity(&doc, &index, &query);
+            let est = xs_estimate_selectivity(&xs, &query, &XsEvalConfig::default());
+            assert!(
+                (exact - est).abs() < 1e-9 * exact.max(1.0),
+                "{twig}: exact {exact} vs est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure3_label_split_estimates_ten() {
+        // §3.1: the zero-error twig-XSketch estimates sel(//a/b/c) = 10
+        // on both documents.
+        for src in [
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+             <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+            "<r><a><b><c/></b><b><c/></b></a>\
+             <a><b><c/><c/><c/><c/></b><b><c/><c/><c/><c/></b></a></r>",
+        ] {
+            let doc = parse_document(src).unwrap();
+            let stable = build_stable(&doc);
+            let (partition, n) = XSketch::label_split_partition(&stable);
+            let xs = XSketch::from_partition(&stable, &partition, n, 100);
+            let query = parse_twig("q1: q0 //a\nq2: q1 /b\nq3: q2 /c").unwrap();
+            let est = xs_estimate_selectivity(&xs, &query, &XsEvalConfig::default());
+            assert!((est - 10.0).abs() < 1e-9, "est = {est}");
+        }
+    }
+
+    #[test]
+    fn histogram_branch_beats_average_on_correlation() {
+        // Half the a's have 2 b's, half have none. The joint histogram
+        // knows P(b ≥ 1) = 0.5 exactly.
+        let doc = parse_document("<r><a><b/><b/></a><a/></r>").unwrap();
+        let stable = build_stable(&doc);
+        let (partition, n) = XSketch::label_split_partition(&stable);
+        let xs = XSketch::from_partition(&stable, &partition, n, 100);
+        let query = parse_twig("q1: q0 //a[b]").unwrap();
+        let est = xs_estimate_selectivity(&xs, &query, &XsEvalConfig::default());
+        assert!((est - 1.0).abs() < 1e-9, "est = {est}"); // 2 a's × 0.5
+    }
+
+    #[test]
+    fn empty_answer_is_zero() {
+        let doc = parse_document("<r><a/></r>").unwrap();
+        let stable = build_stable(&doc);
+        let (partition, n) = XSketch::label_split_partition(&stable);
+        let xs = XSketch::from_partition(&stable, &partition, n, 100);
+        let query = parse_twig("q1: q0 //zzz").unwrap();
+        assert_eq!(
+            xs_estimate_selectivity(&xs, &query, &XsEvalConfig::default()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Joint edge histograms (§3.1).
+//!
+//! For a synopsis node `u` with outgoing edges `u → v_1 … u → v_n`, the
+//! histogram `H_u(c_1, …, c_n)` records the fraction of `u`'s elements
+//! having exactly `c_i` children in each `v_i`. Under a bucket budget the
+//! most frequent count vectors are kept exactly and the tail collapses
+//! into one *residual* bucket holding the tail's average vector — the
+//! standard end-biased compression of the XSKETCH line of work.
+
+use rand::Rng;
+
+/// A bounded joint histogram over one node's outgoing edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeHistogram {
+    /// `(count vector, fraction)` — exact buckets, heaviest first.
+    pub buckets: Vec<(Vec<u32>, f64)>,
+    /// Collapsed tail: `(average vector, fraction)`, if any mass remains.
+    pub residual: Option<(Vec<f64>, f64)>,
+    /// Dimensionality (number of outgoing edges).
+    pub dims: usize,
+}
+
+impl EdgeHistogram {
+    /// Builds a histogram from weighted exact vectors, keeping at most
+    /// `max_buckets` exact buckets (≥ 1; one extra slot is used by the
+    /// residual when the tail is non-empty).
+    pub fn build(vectors: &[(Vec<u32>, f64)], max_buckets: usize) -> EdgeHistogram {
+        let dims = vectors.first().map_or(0, |(v, _)| v.len());
+        let total: f64 = vectors.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return EdgeHistogram {
+                buckets: Vec::new(),
+                residual: None,
+                dims,
+            };
+        }
+        let mut sorted: Vec<(Vec<u32>, f64)> = vectors.to_vec();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let keep = max_buckets.max(1).min(sorted.len());
+        let head = &sorted[..keep];
+        let tail = &sorted[keep..];
+        let buckets: Vec<(Vec<u32>, f64)> = head
+            .iter()
+            .map(|(v, w)| (v.clone(), w / total))
+            .collect();
+        let residual = if tail.is_empty() {
+            None
+        } else {
+            let tail_mass: f64 = tail.iter().map(|&(_, w)| w).sum();
+            let mut avg = vec![0.0f64; dims];
+            for (v, w) in tail {
+                for (slot, &c) in avg.iter_mut().zip(v.iter()) {
+                    *slot += w * c as f64;
+                }
+            }
+            for slot in &mut avg {
+                *slot /= tail_mass;
+            }
+            Some((avg, tail_mass / total))
+        };
+        EdgeHistogram {
+            buckets,
+            residual,
+            dims,
+        }
+    }
+
+    /// Number of stored buckets (incl. the residual).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len() + usize::from(self.residual.is_some())
+    }
+
+    /// Mean child count along edge `dim`.
+    pub fn mean(&self, dim: usize) -> f64 {
+        let mut m: f64 = self
+            .buckets
+            .iter()
+            .map(|(v, f)| f * v[dim] as f64)
+            .sum();
+        if let Some((avg, f)) = &self.residual {
+            m += f * avg[dim];
+        }
+        m
+    }
+
+    /// Fraction of elements with ≥ 1 child along edge `dim`.
+    pub fn prob_ge1(&self, dim: usize) -> f64 {
+        let mut p: f64 = self
+            .buckets
+            .iter()
+            .filter(|(v, _)| v[dim] >= 1)
+            .map(|&(_, f)| f)
+            .sum();
+        if let Some((avg, f)) = &self.residual {
+            // Tail average ≥ 1 ⇒ count the whole tail; else scale.
+            p += f * avg[dim].min(1.0);
+        }
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Fraction of elements with ≥ 1 child along *at least one* of the
+    /// given edges (union over dimensions, exact on the head buckets).
+    pub fn prob_any_ge1(&self, dims: &[usize]) -> f64 {
+        let mut p: f64 = self
+            .buckets
+            .iter()
+            .filter(|(v, _)| dims.iter().any(|&d| v[d] >= 1))
+            .map(|&(_, f)| f)
+            .sum();
+        if let Some((avg, f)) = &self.residual {
+            let miss: f64 = dims.iter().map(|&d| 1.0 - avg[d].min(1.0)).product();
+            p += f * (1.0 - miss);
+        }
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Samples a child-count vector (the §6.1 answer generator).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        let mut pick: f64 = rng.gen();
+        for (v, f) in &self.buckets {
+            if pick < *f {
+                return v.clone();
+            }
+            pick -= f;
+        }
+        if let Some((avg, _)) = &self.residual {
+            // Stochastic rounding of the residual average vector.
+            return avg
+                .iter()
+                .map(|&a| {
+                    let base = a.floor();
+                    let frac = a - base;
+                    base as u32 + u32::from(rng.gen::<f64>() < frac)
+                })
+                .collect();
+        }
+        // Rounding slack: fall back to the heaviest bucket.
+        self.buckets
+            .first()
+            .map(|(v, _)| v.clone())
+            .unwrap_or_else(|| vec![0; self.dims])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_hist() -> EdgeHistogram {
+        // Fig. 3(d) for node B: (c) counts {1: 1/2, 4: 1/2}.
+        EdgeHistogram::build(&[(vec![1], 2.0), (vec![4], 2.0)], 4)
+    }
+
+    #[test]
+    fn exact_when_within_budget() {
+        let h = sample_hist();
+        assert_eq!(h.num_buckets(), 2);
+        assert!(h.residual.is_none());
+        assert!((h.mean(0) - 2.5).abs() < 1e-12);
+        assert!((h.prob_ge1(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_collapses_into_residual() {
+        let vectors: Vec<(Vec<u32>, f64)> =
+            (0..10).map(|i| (vec![i], 1.0 + i as f64)).collect();
+        let h = EdgeHistogram::build(&vectors, 3);
+        assert_eq!(h.buckets.len(), 3);
+        assert!(h.residual.is_some());
+        assert_eq!(h.num_buckets(), 4);
+        // Mean is preserved exactly by the residual average.
+        let total: f64 = vectors.iter().map(|&(_, w)| w).sum();
+        let exact_mean: f64 = vectors
+            .iter()
+            .map(|(v, w)| w * v[0] as f64)
+            .sum::<f64>()
+            / total;
+        assert!((h.mean(0) - exact_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_probabilities() {
+        // Anti-correlated: (2,0) half, (0,2) half.
+        let h = EdgeHistogram::build(&[(vec![2, 0], 1.0), (vec![0, 2], 1.0)], 4);
+        assert!((h.prob_ge1(0) - 0.5).abs() < 1e-12);
+        assert!((h.prob_ge1(1) - 0.5).abs() < 1e-12);
+        assert!((h.prob_any_ge1(&[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let h = sample_hist();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ones = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            match h.sample(&mut rng)[0] {
+                1 => ones += 1,
+                4 => {}
+                other => panic!("unexpected sampled count {other}"),
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = EdgeHistogram::build(&[], 4);
+        assert_eq!(h.num_buckets(), 0);
+        assert_eq!(h.dims, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! The twig-XSketch synopsis structure.
+//!
+//! A graph synopsis (§3.1) whose nodes carry element counts and joint
+//! edge histograms, and whose edges carry backward/forward stability
+//! flags:
+//!
+//! * edge `(u, v)` is **B-stable** iff every element of `extent(v)` has
+//!   its parent in `extent(u)`;
+//! * edge `(u, v)` is **F-stable** iff every element of `extent(u)` has
+//!   at least one child in `extent(v)`.
+//!
+//! Both flags are computed exactly from the count-stable skeleton: in a
+//! tree every element has exactly one parent, so the number of `v`
+//! elements with a parent in `u` is `Σ_{s∈u} n_s · K(s, v)`.
+
+use crate::histogram::EdgeHistogram;
+use axqa_synopsis::{SizeModel, StableSummary, SynNodeId};
+use axqa_xml::fxhash::FxHashMap;
+use axqa_xml::{LabelId, LabelTable};
+
+/// Identifier of a twig-XSketch node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XsNodeId(pub u32);
+
+impl XsNodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One outgoing edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XEdge {
+    /// Target node.
+    pub target: XsNodeId,
+    /// Average child count (histogram mean, cached).
+    pub avg: f64,
+    /// Backward stability.
+    pub b_stable: bool,
+    /// Forward stability.
+    pub f_stable: bool,
+}
+
+/// One twig-XSketch node.
+#[derive(Debug, Clone)]
+pub struct XNode {
+    /// Common label.
+    pub label: LabelId,
+    /// Extent size.
+    pub count: u64,
+    /// Outgoing edges, sorted by target.
+    pub edges: Vec<XEdge>,
+    /// Joint child-count histogram over `edges` (dims parallel).
+    pub histogram: EdgeHistogram,
+    /// Longest downward distance to a leaf node.
+    pub depth: u32,
+}
+
+/// A twig-XSketch synopsis.
+#[derive(Debug, Clone)]
+pub struct XSketch {
+    labels: LabelTable,
+    nodes: Vec<XNode>,
+    root: XsNodeId,
+}
+
+impl XSketch {
+    /// The root node.
+    pub fn root(&self) -> XsNodeId {
+        self.root
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[XNode] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: XsNodeId) -> &XNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Total edges.
+    pub fn num_edges(&self) -> usize {
+        self.nodes.iter().map(|n| n.edges.len()).sum()
+    }
+
+    /// Total histogram buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.nodes.iter().map(|n| n.histogram.num_buckets()).sum()
+    }
+
+    /// Size under the twig-XSketch byte model.
+    pub fn size_bytes(&self) -> usize {
+        SizeModel::XSKETCH.bytes(self.len(), self.num_edges(), self.num_buckets())
+    }
+
+    /// Max node depth (bounds descendant enumeration).
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Materializes a twig-XSketch from a partition of the stable
+    /// skeleton. `partition[s]` is the cluster of stable node `s`
+    /// (cluster ids must be dense `0..num_clusters`); `bucket_budget` is
+    /// the total number of histogram buckets to distribute (heaviest
+    /// vectors globally first).
+    pub fn from_partition(
+        stable: &StableSummary,
+        partition: &[u32],
+        num_clusters: usize,
+        bucket_budget: usize,
+    ) -> XSketch {
+        // Gather per-cluster members.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_clusters];
+        for (s, &c) in partition.iter().enumerate() {
+            members[c as usize].push(s as u32);
+        }
+        // Per-cluster target sets and per-member count vectors.
+        struct Raw {
+            label: LabelId,
+            count: u64,
+            targets: Vec<u32>,
+            vectors: Vec<(Vec<u32>, f64)>,
+            depth: u32,
+        }
+        let mut raw: Vec<Raw> = Vec::with_capacity(num_clusters);
+        // Elements of each cluster (for B-stability).
+        let mut cluster_elems = vec![0u64; num_clusters];
+        for (s, &c) in partition.iter().enumerate() {
+            cluster_elems[c as usize] += stable.node(SynNodeId(s as u32)).extent;
+        }
+        // Incoming "child slots" per (parent cluster, child cluster).
+        let mut into: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+
+        for (ci, ms) in members.iter().enumerate() {
+            assert!(!ms.is_empty(), "cluster {ci} has no members");
+            let first = stable.node(SynNodeId(ms[0]));
+            let label = first.label;
+            let mut target_set: Vec<u32> = Vec::new();
+            for &s in ms {
+                for &(t, _) in &stable.node(SynNodeId(s)).children {
+                    target_set.push(partition[t.index()]);
+                }
+            }
+            target_set.sort_unstable();
+            target_set.dedup();
+            let index_of: FxHashMap<u32, usize> = target_set
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i))
+                .collect();
+            let mut vectors: Vec<(Vec<u32>, f64)> = Vec::with_capacity(ms.len());
+            let mut count = 0u64;
+            let mut depth = 0u32;
+            for &s in ms {
+                let node = stable.node(SynNodeId(s));
+                debug_assert_eq!(node.label, label, "label-respecting partition");
+                count += node.extent;
+                depth = depth.max(node.depth);
+                let mut vector = vec![0u32; target_set.len()];
+                for &(t, k) in &node.children {
+                    vector[index_of[&partition[t.index()]]] += k;
+                }
+                for (dim, &t) in target_set.iter().enumerate() {
+                    if vector[dim] > 0 {
+                        *into.entry((ci as u32, t)).or_insert(0.0) +=
+                            node.extent as f64 * vector[dim] as f64;
+                    }
+                }
+                vectors.push((vector, node.extent as f64));
+            }
+            // Merge identical vectors.
+            vectors.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut merged: Vec<(Vec<u32>, f64)> = Vec::with_capacity(vectors.len());
+            for (v, w) in vectors {
+                match merged.last_mut() {
+                    Some((lv, lw)) if *lv == v => *lw += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            raw.push(Raw {
+                label,
+                count,
+                targets: target_set,
+                vectors: merged,
+                depth,
+            });
+        }
+
+        // Distribute the bucket budget: every node gets at least one
+        // bucket; remaining slots go to the globally heaviest vectors.
+        let mut allocation = vec![1usize; num_clusters];
+        let mut spent: usize = allocation.iter().sum();
+        let mut heap: Vec<(f64, usize, usize)> = Vec::new(); // (weight, node, next bucket index)
+        for (ci, r) in raw.iter().enumerate() {
+            // Vectors sorted by weight descending for allocation.
+            let mut weights: Vec<f64> = r.vectors.iter().map(|&(_, w)| w).collect();
+            weights.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            if weights.len() > 1 {
+                heap.push((weights[1], ci, 2));
+            }
+        }
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        while spent < bucket_budget {
+            let Some((_, ci, next)) = heap.pop() else { break };
+            allocation[ci] += 1;
+            spent += 1;
+            let r = &raw[ci];
+            if next < r.vectors.len() + 1 {
+                let mut weights: Vec<f64> = r.vectors.iter().map(|&(_, w)| w).collect();
+                weights.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                if next < weights.len() {
+                    let w = weights[next];
+                    let pos = heap.partition_point(|&(hw, _, _)| hw < w);
+                    heap.insert(pos, (w, ci, next + 1));
+                }
+            }
+        }
+
+        // Materialize nodes.
+        let mut nodes: Vec<XNode> = Vec::with_capacity(num_clusters);
+        for (ci, r) in raw.iter().enumerate() {
+            let histogram = EdgeHistogram::build(&r.vectors, allocation[ci]);
+            let edges: Vec<XEdge> = r
+                .targets
+                .iter()
+                .enumerate()
+                .map(|(dim, &t)| {
+                    let slots = into.get(&(ci as u32, t)).copied().unwrap_or(0.0);
+                    XEdge {
+                        target: XsNodeId(t),
+                        avg: histogram.mean(dim),
+                        b_stable: (slots - cluster_elems[t as usize] as f64).abs() < 0.5,
+                        f_stable: r
+                            .vectors
+                            .iter()
+                            .all(|(v, _)| v[dim] >= 1),
+                    }
+                })
+                .collect();
+            nodes.push(XNode {
+                label: r.label,
+                count: r.count,
+                edges,
+                histogram,
+                depth: r.depth,
+            });
+        }
+        let root = XsNodeId(partition[stable.root().index()]);
+        XSketch {
+            labels: stable.labels().clone(),
+            nodes,
+            root,
+        }
+    }
+
+    /// The label-split partition: one cluster per tag.
+    pub fn label_split_partition(stable: &StableSummary) -> (Vec<u32>, usize) {
+        let mut ids: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut partition = Vec::with_capacity(stable.len());
+        for node in stable.nodes() {
+            let next = ids.len() as u32;
+            let id = *ids.entry(node.label.0).or_insert(next);
+            partition.push(id);
+        }
+        (partition, ids.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axqa_synopsis::build_stable;
+    use axqa_xml::parse_document;
+
+    /// Figure 3's T1/T2 documents collapse to the same label-split
+    /// twig-XSketch with the same edge histograms.
+    fn t1() -> axqa_xml::Document {
+        parse_document(
+            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+             <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_label_split_histograms() {
+        let doc = t1();
+        let stable = build_stable(&doc);
+        let (partition, n) = XSketch::label_split_partition(&stable);
+        let xs = XSketch::from_partition(&stable, &partition, n, 100);
+        assert_eq!(xs.len(), 4); // r, a, b, c
+        let b_label = doc.labels().get("b").unwrap();
+        let b = xs
+            .nodes()
+            .iter()
+            .position(|node| node.label == b_label)
+            .unwrap();
+        let b = xs.node(XsNodeId(b as u32));
+        assert_eq!(b.count, 4);
+        // Fig. 3(d): H_B(c): {1 → 1/2, 4 → 1/2}.
+        assert_eq!(b.histogram.buckets.len(), 2);
+        let fractions: Vec<f64> = b.histogram.buckets.iter().map(|&(_, f)| f).collect();
+        assert!(fractions.iter().all(|&f| (f - 0.5).abs() < 1e-12));
+        assert!((b.histogram.mean(0) - 2.5).abs() < 1e-12);
+        // All label-split edges of this doc are B/F-stable (Fig. 3(c)).
+        for node in xs.nodes() {
+            for edge in &node.edges {
+                assert!(edge.b_stable, "{:?}", edge);
+                assert!(edge.f_stable, "{:?}", edge);
+            }
+        }
+    }
+
+    #[test]
+    fn stability_flags_detect_instability() {
+        // Some a's have no b child → edge a→b not F-stable; some b's sit
+        // under r, not a → edge a→b not B-stable.
+        let doc = parse_document("<r><a><b/></a><a/><b/></r>").unwrap();
+        let stable = build_stable(&doc);
+        let (partition, n) = XSketch::label_split_partition(&stable);
+        let xs = XSketch::from_partition(&stable, &partition, n, 100);
+        let a_label = doc.labels().get("a").unwrap();
+        let b_label = doc.labels().get("b").unwrap();
+        let a = xs
+            .nodes()
+            .iter()
+            .find(|node| node.label == a_label)
+            .unwrap();
+        let ab = a
+            .edges
+            .iter()
+            .find(|e| xs.node(e.target).label == b_label)
+            .unwrap();
+        assert!(!ab.f_stable);
+        assert!(!ab.b_stable);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let doc = t1();
+        let stable = build_stable(&doc);
+        let (partition, n) = XSketch::label_split_partition(&stable);
+        let xs = XSketch::from_partition(&stable, &partition, n, 100);
+        let expect = SizeModel::XSKETCH.bytes(xs.len(), xs.num_edges(), xs.num_buckets());
+        assert_eq!(xs.size_bytes(), expect);
+    }
+
+    #[test]
+    fn bucket_budget_is_respected() {
+        let doc = parse_document(
+            "<r><b><c/></b><b><c/><c/></b><b><c/><c/><c/></b>\
+             <b><c/><c/><c/><c/></b><b><c/><c/><c/><c/><c/></b></r>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let (partition, n) = XSketch::label_split_partition(&stable);
+        // Budget of 3 buckets total for 3 nodes: 1 each; b's 5 distinct
+        // vectors collapse into 1 exact + residual.
+        let xs = XSketch::from_partition(&stable, &partition, n, 3);
+        let b_label = doc.labels().get("b").unwrap();
+        let b = xs
+            .nodes()
+            .iter()
+            .find(|node| node.label == b_label)
+            .unwrap();
+        assert_eq!(b.histogram.buckets.len(), 1);
+        assert!(b.histogram.residual.is_some());
+        // Mean still exact: (1+2+3+4+5)/5 = 3.
+        assert!((b.histogram.mean(0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! # axqa — Approximate XML Query Answers (TreeSketch)
+//!
+//! A from-scratch Rust reproduction of *"Approximate XML Query Answers"*
+//! (Polyzotis, Garofalakis, Ioannidis — SIGMOD 2004): TreeSketch
+//! synopses for fast approximate answers and selectivity estimates over
+//! tree-structured XML, with every substrate the paper depends on.
+//!
+//! This umbrella crate re-exports the workspace so downstream users (and
+//! the repository-level examples and integration tests) can depend on a
+//! single crate:
+//!
+//! * [`xml`] — node-labeled XML trees, parser, writer ([`axqa_xml`]).
+//! * [`query`] — twig queries and the XPath subset ([`axqa_query`]).
+//! * [`eval`] — exact evaluation: nesting trees and binding-tuple
+//!   counts ([`axqa_eval`]).
+//! * [`synopsis`] — graph synopses, `BUILDSTABLE`, `Expand`
+//!   ([`axqa_synopsis`]).
+//! * [`core`] — TreeSketches: `TSBUILD`, `EVALQUERY`, selectivity
+//!   estimation ([`axqa_core`]).
+//! * [`xsketch`] — the twig-XSketch baseline ([`axqa_xsketch`]).
+//! * [`distance`] — the ESD error metric, MAC/EMD set distances,
+//!   tree-edit distance ([`axqa_distance`]).
+//! * [`datagen`] — synthetic datasets and twig workloads
+//!   ([`axqa_datagen`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use axqa::prelude::*;
+//!
+//! // Parse a document, summarize it, answer a twig approximately.
+//! let doc = parse_document("<bib><a><p><k/></p></a><a><p><k/><k/></p></a></bib>")?;
+//! let stable = build_stable(&doc);
+//! let budget = BuildConfig::with_budget(1024);
+//! let sketch = ts_build(&stable, &budget).sketch;
+//! let query = parse_twig("q1: q0 //a\nq2: q1 //k")?;
+//! let estimate = estimate_query_selectivity(&sketch, &query, &EvalConfig::default());
+//! assert!(estimate > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use axqa_core as core;
+pub use axqa_datagen as datagen;
+pub use axqa_distance as distance;
+pub use axqa_eval as eval;
+pub use axqa_query as query;
+pub use axqa_synopsis as synopsis;
+pub use axqa_xml as xml;
+pub use axqa_xsketch as xsketch;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use axqa_core::selectivity::estimate_query_selectivity;
+    pub use axqa_core::{
+        estimate_selectivity, eval_query, eval_query_with_values, ts_build, BuildConfig,
+        EvalConfig, TreeSketch, ValueIndex,
+    };
+    pub use axqa_datagen::{generate, Dataset, GenConfig};
+    pub use axqa_distance::{esd_answer, esd_documents, EsdConfig};
+    pub use axqa_eval::{evaluate, selectivity, DocIndex, NestingTree};
+    pub use axqa_query::{parse_path, parse_twig, PathExpr, QVar, TwigQuery, ValueOp, ValuePred};
+    pub use axqa_synopsis::{build_stable, expand, SizeModel, StableSummary};
+    pub use axqa_xml::{parse_document, write_document, DocStats, Document};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn umbrella_reexports_work_together() {
+        let doc = parse_document("<r><a><b/></a><a><b/><b/></a></r>").unwrap();
+        let stable = build_stable(&doc);
+        let sketch = ts_build(&stable, &BuildConfig::with_budget(4096)).sketch;
+        let query = parse_twig("q1: q0 //a\nq2: q1 /b").unwrap();
+        let index = DocIndex::build(&doc);
+        let exact = selectivity(&doc, &index, &query);
+        let approx = estimate_query_selectivity(&sketch, &query, &EvalConfig::default());
+        assert_eq!(exact, 3.0);
+        assert!((exact - approx).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end pipeline tests on each synthetic dataset: generation →
+//! stable summary → TSBUILD → approximate answering, asserting the
+//! paper's qualitative claims at test-friendly scales.
+
+use axqa::datagen::workload::{positive_workload, WorkloadConfig};
+use axqa::distance::{esd_answer, esd_empty_answer, EsdConfig};
+use axqa::prelude::*;
+
+fn prepare(dataset: Dataset, elements: usize, queries: usize) -> (Document, StableSummary, DocIndex, Vec<TwigQuery>) {
+    let doc = generate(
+        dataset,
+        &GenConfig {
+            target_elements: elements,
+            seed: 0xE2E,
+        },
+    );
+    let stable = build_stable(&doc);
+    let index = DocIndex::build(&doc);
+    let workload = positive_workload(
+        &stable,
+        &WorkloadConfig {
+            count: queries,
+            seed: 0xE2E ^ 1,
+            ..WorkloadConfig::default()
+        },
+    );
+    (doc, stable, index, workload)
+}
+
+fn avg_rel_error(
+    doc: &Document,
+    index: &DocIndex,
+    workload: &[TwigQuery],
+    sketch: &TreeSketch,
+) -> f64 {
+    let exact: Vec<f64> = workload.iter().map(|q| selectivity(doc, index, q)).collect();
+    let mut sorted = exact.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sanity = sorted[sorted.len() / 10].max(1.0);
+    workload
+        .iter()
+        .zip(&exact)
+        .map(|(q, &truth)| {
+            let est = axqa::core::selectivity::estimate_query_selectivity(
+                sketch,
+                q,
+                &EvalConfig::default(),
+            );
+            (truth - est).abs() / est.max(sanity)
+        })
+        .sum::<f64>()
+        / workload.len() as f64
+}
+
+#[test]
+fn error_decreases_with_budget_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let (doc, stable, index, workload) = prepare(dataset, 12_000, 40);
+        let full = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let tight = ts_build(&stable, &BuildConfig::with_budget(full / 16)).sketch;
+        let roomy = ts_build(&stable, &BuildConfig::with_budget(full / 2)).sketch;
+        let exact_ts = TreeSketch::from_stable(&stable);
+        let e_tight = avg_rel_error(&doc, &index, &workload, &tight);
+        let e_roomy = avg_rel_error(&doc, &index, &workload, &roomy);
+        let e_exact = avg_rel_error(&doc, &index, &workload, &exact_ts);
+        assert!(
+            e_exact < 1e-9,
+            "{}: exact synopsis not exact (err {e_exact})",
+            dataset.name()
+        );
+        assert!(
+            e_roomy <= e_tight + 1e-9,
+            "{}: tighter budget should not beat roomier ({e_tight} vs {e_roomy})",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn esd_of_answers_decreases_with_budget() {
+    let (doc, stable, index, workload) = prepare(Dataset::SProt, 10_000, 15);
+    let full = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+    let esd_config = EsdConfig::default();
+    let avg_esd = |sketch: &TreeSketch| -> f64 {
+        workload
+            .iter()
+            .map(|q| {
+                let truth = evaluate(&doc, &index, q).expect("positive");
+                match eval_query(sketch, q, &EvalConfig::default()) {
+                    Some(result) => esd_answer(&doc, &truth, &result, &esd_config),
+                    None => esd_empty_answer(&doc, &truth, &esd_config),
+                }
+            })
+            .sum::<f64>()
+            / workload.len() as f64
+    };
+    let tight = ts_build(&stable, &BuildConfig::with_budget(full / 16)).sketch;
+    let exact_ts = TreeSketch::from_stable(&stable);
+    let e_tight = avg_esd(&tight);
+    let e_exact = avg_esd(&exact_ts);
+    assert!(e_exact < 1e-6, "exact answers have ESD 0, got {e_exact}");
+    assert!(e_tight > e_exact, "compression must cost ESD ({e_tight})");
+}
+
+#[test]
+fn exact_sketch_reproduces_every_binding_count() {
+    let (doc, stable, index, workload) = prepare(Dataset::XMark, 10_000, 30);
+    let sketch = TreeSketch::from_stable(&stable);
+    for query in &workload {
+        let exact = selectivity(&doc, &index, query);
+        let result = eval_query(&sketch, query, &EvalConfig::default()).expect("positive");
+        let approx = estimate_selectivity(&result, query);
+        assert!(
+            (exact - approx).abs() < 1e-6 * exact.max(1.0),
+            "query {query}: exact {exact} vs {approx}"
+        );
+        // Per-variable binding counts agree too.
+        let nt = evaluate(&doc, &index, query).unwrap();
+        for var in query.vars().skip(1) {
+            let nt_count = nt.bindings(var).len() as f64;
+            let rs_count = result.estimated_bindings(var);
+            assert!(
+                (nt_count - rs_count).abs() < 1e-6 * nt_count.max(1.0),
+                "query {query} var {var}: {nt_count} vs {rs_count}"
+            );
+        }
+    }
+}
+
+#[test]
+fn budgets_are_respected_across_the_sweep() {
+    let (_, stable, _, _) = prepare(Dataset::Imdb, 15_000, 0);
+    let model = SizeModel::TREESKETCH;
+    let floor = {
+        // Label-split graph size.
+        let labels = stable.nodes().iter().map(|n| n.label).collect::<std::collections::HashSet<_>>();
+        labels.len()
+    };
+    for budget_kb in [2usize, 4, 8, 16] {
+        let report = ts_build(&stable, &BuildConfig::with_budget(budget_kb * 1024));
+        assert_eq!(report.final_bytes, report.sketch.size_bytes(&model));
+        if report.reached_budget {
+            assert!(report.final_bytes <= budget_kb * 1024);
+        } else {
+            assert_eq!(report.sketch.len(), floor, "floor is the label-split graph");
+        }
+        assert_eq!(
+            report.sketch.total_elements(),
+            stable.total_elements(),
+            "merging must preserve element counts"
+        );
+    }
+}
+
+#[test]
+fn direct_counting_matches_nesting_tree_on_real_workloads() {
+    for dataset in [Dataset::XMark, Dataset::SProt] {
+        let (doc, _, index, workload) = prepare(dataset, 8_000, 25);
+        for query in &workload {
+            let via_nt = selectivity(&doc, &index, query);
+            let direct = axqa::eval::count_binding_tuples(&doc, &index, query);
+            assert!(
+                (via_nt - direct).abs() < 1e-9 * via_nt.max(1.0),
+                "{}: {query}: {via_nt} vs {direct}",
+                dataset.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! §6.1: "our experiments with negative workloads have shown that
+//! TreeSketches consistently produce empty answers as approximations."
+//!
+//! Verified here across datasets and budgets: every provably-empty query
+//! yields an empty approximate answer (and estimate 0), at any level of
+//! compression down to the label-split floor.
+
+use axqa::datagen::workload::{negative_workload, WorkloadConfig};
+use axqa::prelude::*;
+
+#[test]
+fn negative_queries_answer_empty_at_all_budgets() {
+    for dataset in [Dataset::Imdb, Dataset::Dblp] {
+        let doc = generate(
+            dataset,
+            &GenConfig {
+                target_elements: 10_000,
+                seed: 0x4E6,
+            },
+        );
+        let stable = build_stable(&doc);
+        let index = DocIndex::build(&doc);
+        let negatives = negative_workload(
+            &stable,
+            &WorkloadConfig {
+                count: 30,
+                seed: 0x4E6 ^ 7,
+                ..WorkloadConfig::default()
+            },
+        );
+        // Confirm ground truth emptiness first.
+        for query in &negatives {
+            assert_eq!(
+                selectivity(&doc, &index, query),
+                0.0,
+                "{}: not actually empty: {query}",
+                dataset.name()
+            );
+        }
+        let full = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        for budget in [1usize, full / 8, full] {
+            let sketch = ts_build(&stable, &BuildConfig::with_budget(budget)).sketch;
+            for query in &negatives {
+                let answer = eval_query(&sketch, query, &EvalConfig::default());
+                assert!(
+                    answer.is_none(),
+                    "{} @ {budget}B: non-empty approximate answer for {query}",
+                    dataset.name()
+                );
+                let estimate = axqa::core::selectivity::estimate_query_selectivity(
+                    &sketch,
+                    query,
+                    &EvalConfig::default(),
+                );
+                assert_eq!(estimate, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for the distance substrate: Zhang–Shasha is checked
+//! against a brute-force forest DP, exact EMD against the greedy
+//! matcher, and the XML parser against arbitrary byte soup.
+
+use axqa::distance::setdist::{SetDistance, SetItem};
+use axqa::distance::{tree_edit_distance, EditCosts};
+use axqa::prelude::*;
+use axqa::xml::NodeId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Reference implementation: brute-force ordered forest edit distance.
+// ---------------------------------------------------------------------
+
+fn children(doc: &Document, n: NodeId) -> Vec<NodeId> {
+    doc.children(n).collect()
+}
+
+type Memo = HashMap<(Vec<u32>, Vec<u32>), f64>;
+
+fn forest_dist(
+    d1: &Document,
+    f1: &[NodeId],
+    d2: &Document,
+    f2: &[NodeId],
+    costs: &EditCosts,
+    memo: &mut Memo,
+) -> f64 {
+    let key = (
+        f1.iter().map(|n| n.0).collect::<Vec<_>>(),
+        f2.iter().map(|n| n.0).collect::<Vec<_>>(),
+    );
+    if let Some(&v) = memo.get(&key) {
+        return v;
+    }
+    let result = if f1.is_empty() && f2.is_empty() {
+        0.0
+    } else if f1.is_empty() {
+        let (last, rest) = f2.split_last().unwrap();
+        forest_dist(d1, f1, d2, rest, costs, memo)
+            + forest_dist(d1, &[], d2, &children(d2, *last), costs, memo)
+            + costs.insert
+    } else if f2.is_empty() {
+        let (last, rest) = f1.split_last().unwrap();
+        forest_dist(d1, rest, d2, f2, costs, memo)
+            + forest_dist(d1, &children(d1, *last), d2, &[], costs, memo)
+            + costs.delete
+    } else {
+        let (l1, r1) = f1.split_last().unwrap();
+        let (l2, r2) = f2.split_last().unwrap();
+        let del = forest_dist(
+            d1,
+            &[r1, &children(d1, *l1)[..]].concat(),
+            d2,
+            f2,
+            costs,
+            memo,
+        ) + costs.delete;
+        let ins = forest_dist(
+            d1,
+            f1,
+            d2,
+            &[r2, &children(d2, *l2)[..]].concat(),
+            costs,
+            memo,
+        ) + costs.insert;
+        let relabel = if d1.label_name(*l1) == d2.label_name(*l2) {
+            0.0
+        } else {
+            costs.relabel
+        };
+        let mat = forest_dist(d1, r1, d2, r2, costs, memo)
+            + forest_dist(d1, &children(d1, *l1), d2, &children(d2, *l2), costs, memo)
+            + relabel;
+        del.min(ins).min(mat)
+    };
+    memo.insert(key, result);
+    result
+}
+
+fn brute_force_edit(d1: &Document, d2: &Document, costs: &EditCosts) -> f64 {
+    let mut memo = Memo::new();
+    forest_dist(d1, &[d1.root()], d2, &[d2.root()], costs, &mut memo)
+}
+
+// ---------------------------------------------------------------------
+// Random small trees (kept tiny: the brute force is exponential-ish).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Tree {
+    label: u8,
+    children: Vec<Tree>,
+}
+
+fn small_tree() -> impl Strategy<Value = Tree> {
+    let leaf = (0u8..3).prop_map(|label| Tree {
+        label,
+        children: vec![],
+    });
+    leaf.prop_recursive(3, 9, 3, |inner| {
+        ((0u8..3), prop::collection::vec(inner, 0..3)).prop_map(|(label, children)| Tree {
+            label,
+            children,
+        })
+    })
+}
+
+fn to_document(tree: &Tree) -> Document {
+    fn add(doc: &mut Document, parent: NodeId, tree: &Tree) {
+        let node = doc.add_child_named(parent, &format!("l{}", tree.label));
+        for child in &tree.children {
+            add(doc, node, child);
+        }
+    }
+    let mut doc = Document::new(&format!("l{}", tree.label));
+    let root = doc.root();
+    for child in &tree.children {
+        add(&mut doc, root, child);
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zhang_shasha_matches_brute_force(t1 in small_tree(), t2 in small_tree()) {
+        let d1 = to_document(&t1);
+        let d2 = to_document(&t2);
+        for costs in [EditCosts::default(), EditCosts::insert_delete_only()] {
+            let fast = tree_edit_distance(&d1, &d2, &costs);
+            let slow = brute_force_edit(&d1, &d2, &costs);
+            prop_assert!(
+                (fast - slow).abs() < 1e-9,
+                "ZS {} vs brute force {} ({:?})", fast, slow, costs
+            );
+        }
+    }
+
+    #[test]
+    fn exact_emd_never_beats_greedy_from_below(
+        sizes_u in prop::collection::vec((0.5f64..8.0, 0.1f64..4.0), 1..5),
+        sizes_v in prop::collection::vec((0.5f64..8.0, 0.1f64..4.0), 1..5),
+        dists in prop::collection::vec(0.0f64..20.0, 25),
+    ) {
+        // With exponent 1 the linearized EMD is exactly optimal, so it
+        // must be ≤ the greedy matcher on every instance.
+        let u: Vec<SetItem> = sizes_u
+            .iter()
+            .map(|&(size, mult)| SetItem { size, mult })
+            .collect();
+        let v: Vec<SetItem> = sizes_v
+            .iter()
+            .map(|&(size, mult)| SetItem { size, mult })
+            .collect();
+        let d: Vec<f64> = (0..u.len() * v.len()).map(|i| dists[i % dists.len()]).collect();
+        let greedy = SetDistance::GreedyMac { exponent: 1.0 }.eval(&u, &v, &d);
+        let emd = SetDistance::Emd { exponent: 1.0 }.eval(&u, &v, &d);
+        prop_assert!(emd <= greedy + 1e-6, "emd {} > greedy {}", emd, greedy);
+        prop_assert!(emd >= 0.0);
+    }
+
+    #[test]
+    fn set_distances_are_zero_on_identical_sets(
+        items in prop::collection::vec((0.5f64..8.0, 0.1f64..4.0), 1..5),
+    ) {
+        let u: Vec<SetItem> = items
+            .iter()
+            .map(|&(size, mult)| SetItem { size, mult })
+            .collect();
+        // Identity distance matrix: d(i, i) = 0, off-diagonal large.
+        let n = u.len();
+        let d: Vec<f64> = (0..n * n)
+            .map(|i| if i / n == i % n { 0.0 } else { 100.0 })
+            .collect();
+        for sd in [
+            SetDistance::GreedyMac { exponent: 2.0 },
+            SetDistance::Emd { exponent: 2.0 },
+        ] {
+            let dist = sd.eval(&u, &u, &d);
+            prop_assert!(dist.abs() < 1e-9, "{:?}: {}", sd, dist);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC*") {
+        // Any outcome is fine except a panic.
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn parser_accepts_what_writer_emits_after_mutation(t in small_tree()) {
+        // Escaped text between tags must not change the structure.
+        let doc = to_document(&t);
+        let compact = write_document(&doc);
+        let with_noise = compact.replace("><", ">some text &amp; more<");
+        let reparsed = parse_document(&with_noise).unwrap();
+        prop_assert_eq!(reparsed.len(), doc.len());
+    }
+}

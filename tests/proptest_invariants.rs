@@ -1,0 +1,242 @@
+//! Property-based tests of the core invariants (proptest).
+//!
+//! Random node-labeled trees over a small label pool exercise:
+//! BUILDSTABLE correctness and minimality bookkeeping, Expand
+//! isomorphism (Lemma 3.1), TSBUILD budget/mass conservation and
+//! incremental-statistics consistency, exactness of approximate
+//! evaluation on count-stable synopses, ESD metric axioms, tree-edit
+//! sanity bounds, and parser round-trips.
+
+use axqa::core::cluster::ClusterState;
+use axqa::core::build::ts_build_state;
+use axqa::distance::{esd_documents, tree_edit_distance, EditCosts, EsdConfig};
+use axqa::prelude::*;
+use axqa::query::{Axis, Step};
+use proptest::prelude::*;
+
+/// A random tree: label index and children.
+#[derive(Debug, Clone)]
+struct Tree {
+    label: u8,
+    children: Vec<Tree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (0u8..5).prop_map(|label| Tree {
+        label,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 80, 5, |inner| {
+        ((0u8..5), prop::collection::vec(inner, 0..5)).prop_map(|(label, children)| Tree {
+            label,
+            children,
+        })
+    })
+}
+
+fn label_name(index: u8) -> String {
+    format!("l{index}")
+}
+
+fn to_document(tree: &Tree) -> Document {
+    fn add(doc: &mut Document, parent: axqa::xml::NodeId, tree: &Tree) {
+        let node = doc.add_child_named(parent, &label_name(tree.label));
+        for child in &tree.children {
+            add(doc, node, child);
+        }
+    }
+    let mut doc = Document::new(&label_name(tree.label));
+    let root = doc.root();
+    for child in &tree.children {
+        add(&mut doc, root, child);
+    }
+    doc
+}
+
+/// Canonical form of a document as an unordered tree.
+fn canonical(doc: &Document) -> String {
+    fn rec(doc: &Document, node: axqa::xml::NodeId) -> String {
+        let mut kids: Vec<String> = doc.children(node).map(|c| rec(doc, c)).collect();
+        kids.sort();
+        format!("{}({})", doc.label_name(node), kids.join(","))
+    }
+    rec(doc, doc.root())
+}
+
+/// One random query edge: (parent choice, steps as (descendant?,
+/// label), optional?).
+type RandomEdge = (usize, Vec<(bool, u8)>, bool);
+
+/// A random twig query over the same label pool.
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    edges: Vec<RandomEdge>,
+}
+
+fn query_strategy() -> impl Strategy<Value = RandomQuery> {
+    prop::collection::vec(
+        (
+            any::<usize>(),
+            prop::collection::vec((any::<bool>(), 0u8..5), 1..3),
+            any::<bool>(),
+        ),
+        1..4,
+    )
+    .prop_map(|edges| RandomQuery { edges })
+}
+
+fn to_twig(random: &RandomQuery) -> TwigQuery {
+    let mut query = TwigQuery::new();
+    let mut vars = vec![QVar::ROOT];
+    for (parent_pick, steps, optional) in &random.edges {
+        let parent = vars[parent_pick % vars.len()];
+        let path = PathExpr::new(
+            steps
+                .iter()
+                .map(|&(descendant, label)| {
+                    Step::new(
+                        if descendant {
+                            Axis::Descendant
+                        } else {
+                            Axis::Child
+                        },
+                        label_name(label),
+                    )
+                })
+                .collect(),
+        );
+        let var = if *optional {
+            query.add_optional(parent, path)
+        } else {
+            query.add(parent, path)
+        };
+        vars.push(var);
+    }
+    query
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buildstable_is_count_stable(tree in tree_strategy()) {
+        let doc = to_document(&tree);
+        let stable = build_stable(&doc);
+        prop_assert!(stable.verify_against(&doc).is_ok());
+        let total: u64 = stable.nodes().iter().map(|n| n.extent).sum();
+        prop_assert_eq!(total, doc.len() as u64);
+        // The exact TreeSketch of a stable summary has zero error.
+        prop_assert_eq!(TreeSketch::from_stable(&stable).squared_error(), 0.0);
+    }
+
+    #[test]
+    fn expand_is_unordered_isomorphism(tree in tree_strategy()) {
+        let doc = to_document(&tree);
+        let stable = build_stable(&doc);
+        let expanded = expand(&stable);
+        prop_assert_eq!(expanded.len(), doc.len());
+        prop_assert_eq!(canonical(&expanded), canonical(&doc));
+    }
+
+    #[test]
+    fn parser_roundtrip(tree in tree_strategy()) {
+        let doc = to_document(&tree);
+        let text = write_document(&doc);
+        let reparsed = parse_document(&text).unwrap();
+        prop_assert_eq!(write_document(&reparsed), text);
+    }
+
+    #[test]
+    fn tsbuild_conserves_mass_and_respects_budget(
+        tree in tree_strategy(),
+        budget in 1usize..4096,
+    ) {
+        let doc = to_document(&tree);
+        let stable = build_stable(&doc);
+        let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
+        let report = ts_build_state(&mut state, &BuildConfig::with_budget(budget));
+        prop_assert!(state.verify().is_ok(), "{:?}", state.verify());
+        prop_assert_eq!(report.sketch.total_elements(), doc.len() as u64);
+        prop_assert_eq!(
+            report.final_bytes,
+            report.sketch.size_bytes(&SizeModel::TREESKETCH)
+        );
+        if report.reached_budget {
+            prop_assert!(report.final_bytes <= budget);
+        }
+        prop_assert!(report.squared_error >= 0.0);
+        // Squared error reported by the builder matches the sketch's.
+        prop_assert!((report.squared_error - report.sketch.squared_error()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimates_are_exact_on_stable_synopses(
+        tree in tree_strategy(),
+        random_query in query_strategy(),
+    ) {
+        let doc = to_document(&tree);
+        let query = to_twig(&random_query);
+        let index = DocIndex::build(&doc);
+        let exact = selectivity(&doc, &index, &query);
+        let sketch = TreeSketch::from_stable(&build_stable(&doc));
+        let estimate = axqa::core::selectivity::estimate_query_selectivity(
+            &sketch,
+            &query,
+            &EvalConfig::default(),
+        );
+        prop_assert!(
+            (exact - estimate).abs() <= 1e-6 * exact.max(1.0),
+            "exact {} vs estimate {} for {}", exact, estimate, query
+        );
+    }
+
+    #[test]
+    fn esd_axioms(t1 in tree_strategy(), t2 in tree_strategy()) {
+        let d1 = to_document(&t1);
+        let d2 = to_document(&t2);
+        let config = EsdConfig::default();
+        prop_assert_eq!(esd_documents(&d1, &d1, &config), 0.0);
+        prop_assert_eq!(esd_documents(&d2, &d2, &config), 0.0);
+        let ab = esd_documents(&d1, &d2, &config);
+        let ba = esd_documents(&d2, &d1, &config);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0), "{} vs {}", ab, ba);
+    }
+
+    #[test]
+    fn tree_edit_axioms(t1 in tree_strategy(), t2 in tree_strategy()) {
+        let d1 = to_document(&t1);
+        let d2 = to_document(&t2);
+        let costs = EditCosts::default();
+        prop_assert_eq!(tree_edit_distance(&d1, &d1, &costs), 0.0);
+        let ab = tree_edit_distance(&d1, &d2, &costs);
+        let ba = tree_edit_distance(&d2, &d1, &costs);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        // Delete-all + insert-all upper bound.
+        prop_assert!(ab <= (d1.len() + d2.len()) as f64);
+        // Identical canonical forms still differ by sibling order only;
+        // equal documents must be at distance 0.
+        if write_document(&d1) == write_document(&d2) {
+            prop_assert_eq!(ab, 0.0);
+        }
+    }
+
+    #[test]
+    fn negative_estimates_never_appear(
+        tree in tree_strategy(),
+        random_query in query_strategy(),
+        budget in 16usize..2048,
+    ) {
+        let doc = to_document(&tree);
+        let query = to_twig(&random_query);
+        let stable = build_stable(&doc);
+        let sketch = ts_build(&stable, &BuildConfig::with_budget(budget)).sketch;
+        let estimate = axqa::core::selectivity::estimate_query_selectivity(
+            &sketch,
+            &query,
+            &EvalConfig::default(),
+        );
+        prop_assert!(estimate >= 0.0);
+        prop_assert!(estimate.is_finite());
+    }
+}
