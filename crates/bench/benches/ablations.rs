@@ -1,3 +1,12 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Ablations of the design choices DESIGN.md calls out:
 //!
 //! * bottom-up (TSBUILD) vs top-down construction — §4.2 claims

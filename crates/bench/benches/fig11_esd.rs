@@ -1,3 +1,12 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Figure 11 — the approximate-answer + ESD pipeline per technique:
 //! evaluate a twig over a 10 KB synopsis, summarize the answer, compare
 //! against the precomputed true nesting tree with ESD.

@@ -1,3 +1,12 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Figure 12 — the selectivity-estimation pipeline per technique:
 //! EVALQUERY + §4.4 post-order counting over 10 KB synopses, against the
 //! histogram-based twig-XSketch estimator.

@@ -1,3 +1,12 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Figure 13 / §6.2 — scaling: TSBUILD and estimation cost as the
 //! document grows (the paper's large-dataset experiment, scaled to
 //! laptop sizes; the reproduced shape is near-linear growth of
@@ -20,9 +29,7 @@ fn bench_fig13(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("tsbuild_10kb", elements),
             &fixture,
-            |b, fixture| {
-                b.iter(|| ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)))
-            },
+            |b, fixture| b.iter(|| ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024))),
         );
         let ts = ts_build(&fixture.stable, &BuildConfig::with_budget(10 * 1024)).sketch;
         group.bench_with_input(

@@ -1,3 +1,12 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Micro-benchmarks of the substrates: parsing, indexing, BUILDSTABLE,
 //! exact twig evaluation and ESD.
 

@@ -51,7 +51,9 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        return Err("usage: axqa <stats|summarize|estimate|preview|exact|generate|workload> …".into());
+        return Err(
+            "usage: axqa <stats|summarize|estimate|preview|exact|generate|workload> …".into(),
+        );
     };
     let rest = &args[1..];
     match command.as_str() {
@@ -228,29 +230,22 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let sketch = load_sketch(opts.positional(0, "sketch path")?)?;
     let query = query_from_opts(&opts)?;
     let values = load_values(&opts, &sketch)?;
-    let estimate = match eval_query_with_values(
-        &sketch,
-        &query,
-        &EvalConfig::default(),
-        values.as_ref(),
-    ) {
-        Some(result) => axqa_core::estimate_selectivity(&result, &query),
-        None => 0.0,
-    };
+    let estimate =
+        match eval_query_with_values(&sketch, &query, &EvalConfig::default(), values.as_ref()) {
+            Some(result) => axqa_core::estimate_selectivity(&result, &query),
+            None => 0.0,
+        };
     println!("{estimate}");
     Ok(())
 }
 
 /// Loads the optional value layer and checks it matches the sketch.
-fn load_values(
-    opts: &Opts,
-    sketch: &TreeSketch,
-) -> Result<Option<axqa_core::ValueIndex>, String> {
+fn load_values(opts: &Opts, sketch: &TreeSketch) -> Result<Option<axqa_core::ValueIndex>, String> {
     let Some(path) = opts.value("values") else {
         return Ok(None);
     };
-    let values = axqa_core::ValueIndex::from_text(&read_file(path)?)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let values =
+        axqa_core::ValueIndex::from_text(&read_file(path)?).map_err(|e| format!("{path}: {e}"))?;
     if values.len() != sketch.len() {
         return Err(format!(
             "{path}: value layer has {} nodes but the sketch has {}",
@@ -278,10 +273,7 @@ fn cmd_preview(args: &[String]) -> Result<(), String> {
             } else {
                 print!("{}", result.dump());
                 for var in query.vars().skip(1) {
-                    println!(
-                        "{var}: ~{:.1} bindings",
-                        result.estimated_bindings(var)
-                    );
+                    println!("{var}: ~{:.1} bindings", result.estimated_bindings(var));
                 }
             }
         }

@@ -1,3 +1,12 @@
+// Integration tests opt back into panicking extractors.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! End-to-end tests of the `axqa` binary: generate → stats → summarize
 //! → estimate/preview/exact round trips through real files.
 
@@ -36,7 +45,14 @@ fn full_pipeline_through_files() {
 
     // generate
     let out = stdout(&axqa(&[
-        "generate", "dblp", "--elements", "3000", "--seed", "7", "-o", doc,
+        "generate",
+        "dblp",
+        "--elements",
+        "3000",
+        "--seed",
+        "7",
+        "-o",
+        doc,
     ]));
     assert!(out.contains("elements"));
 
@@ -60,7 +76,10 @@ fn full_pipeline_through_files() {
         .unwrap();
     assert!(exact > 0.0);
     let error = (exact - estimate).abs() / exact;
-    assert!(error < 0.5, "estimate {estimate} too far from exact {exact}");
+    assert!(
+        error < 0.5,
+        "estimate {estimate} too far from exact {exact}"
+    );
 
     // preview (sketch dump + expansion)
     let out = stdout(&axqa(&["preview", sketch, "-q", query]));
@@ -98,7 +117,14 @@ fn negative_workload_flag() {
     let doc_path = tmp("neg.xml");
     let doc = doc_path.to_str().unwrap();
     stdout(&axqa(&[
-        "generate", "imdb", "--elements", "2000", "--seed", "3", "-o", doc,
+        "generate",
+        "imdb",
+        "--elements",
+        "2000",
+        "--seed",
+        "3",
+        "-o",
+        doc,
     ]));
     let out = stdout(&axqa(&["workload", doc, "-n", "3", "--negative"]));
     assert_eq!(out.lines().count(), 3);
@@ -116,18 +142,34 @@ fn value_layer_roundtrip() {
         values_path.to_str().unwrap(),
     );
     stdout(&axqa(&[
-        "generate", "dblp", "--elements", "4000", "--seed", "11", "-o", doc,
+        "generate",
+        "dblp",
+        "--elements",
+        "4000",
+        "--seed",
+        "11",
+        "-o",
+        doc,
     ]));
     let out = stdout(&axqa(&[
-        "summarize", doc, "--budget", "2KB", "-o", sketch, "--values", values,
+        "summarize",
+        doc,
+        "--budget",
+        "2KB",
+        "-o",
+        sketch,
+        "--values",
+        values,
     ]));
     assert!(out.contains("value layer"));
 
     let query = "q1: q0 //year[. > 1990]";
-    let with_values: f64 = stdout(&axqa(&["estimate", sketch, "-q", query, "--values", values]))
-        .trim()
-        .parse()
-        .unwrap();
+    let with_values: f64 = stdout(&axqa(&[
+        "estimate", sketch, "-q", query, "--values", values,
+    ]))
+    .trim()
+    .parse()
+    .unwrap();
     let without: f64 = stdout(&axqa(&["estimate", sketch, "-q", query]))
         .trim()
         .parse()
@@ -139,7 +181,10 @@ fn value_layer_roundtrip() {
     // Ignoring the predicate gives the structural upper bound; the value
     // layer gets close to exact.
     assert!(without > with_values);
-    assert!((exact - with_values).abs() / exact < 0.2, "exact {exact} vs {with_values}");
+    assert!(
+        (exact - with_values).abs() / exact < 0.2,
+        "exact {exact} vs {with_values}"
+    );
 
     for p in [doc_path, sketch_path, values_path] {
         let _ = std::fs::remove_file(p);

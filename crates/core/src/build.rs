@@ -48,7 +48,7 @@ pub struct BuildConfig {
 }
 
 impl BuildConfig {
-    /// The paper's experimental settings with the given byte budget.
+    /// The paper's experimental settings (§6) with the given byte budget.
     pub fn with_budget(budget_bytes: usize) -> BuildConfig {
         BuildConfig {
             budget_bytes,
@@ -135,7 +135,23 @@ pub fn ts_build(stable: &StableSummary, config: &BuildConfig) -> BuildReport {
     ts_build_state(&mut state, config)
 }
 
-/// TSBUILD over a caller-provided state (lets tests inspect the state).
+/// Fallible `TSBUILD` (Fig. 5): like [`ts_build`], but rejects an empty
+/// stable summary with [`crate::error::AxqaError::EmptySynopsis`] instead of building
+/// a degenerate synopsis with no root.
+pub fn try_ts_build(
+    stable: &StableSummary,
+    config: &BuildConfig,
+) -> Result<BuildReport, crate::error::AxqaError> {
+    if stable.is_empty() {
+        return Err(crate::error::AxqaError::EmptySynopsis {
+            context: "ts_build",
+        });
+    }
+    Ok(ts_build(stable, config))
+}
+
+/// TSBUILD (Fig. 5) over a caller-provided state (lets tests inspect
+/// the state).
 pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> BuildReport {
     let mut merges = 0usize;
     let mut pool_rebuilds = 0usize;
@@ -200,7 +216,8 @@ pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> Bui
 }
 
 /// Budget sweep: compresses once, snapshotting the synopsis at every
-/// requested budget. Equivalent to independent `ts_build` calls per
+/// requested budget. Equivalent to independent `ts_build` (Fig. 5)
+/// calls per
 /// budget (greedy merging is prefix-stable: the merges taken for a
 /// small budget extend those for a large one), but pays the
 /// construction cost once. Returns sketches aligned with the input
@@ -220,7 +237,7 @@ pub fn ts_build_sweep(
         let _ = ts_build_state(&mut state, &step);
         out[index] = Some(state.to_sketch());
     }
-    out.into_iter().map(|s| s.expect("every budget built")).collect()
+    out.into_iter().flatten().collect()
 }
 
 /// `CREATEPOOL` (Fig. 6): bottom-up (by node depth) generation of at most
@@ -313,7 +330,7 @@ fn structural_key(state: &ClusterState<'_>, id: u32) -> [u64; 4] {
     let mut key = [0u64; 4];
     key[0] = cluster.stats.len() as u64;
     for (slot, &(target, stat)) in cluster.stats.iter().take(3).enumerate() {
-        let avg = (stat.sum / n * 16.0).round().min(u32::MAX as f64) as u64;
+        let avg = axqa_xml::f64_to_u64((stat.sum / n * 16.0).round()).min(u64::from(u32::MAX));
         key[slot + 1] = ((target as u64) << 32) | avg;
     }
     key
@@ -355,8 +372,7 @@ mod tests {
     fn build_with_roomy_budget_keeps_stable_summary() {
         let doc = t1_doc();
         let stable = build_stable(&doc);
-        let exact_bytes =
-            SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let exact_bytes = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
         let report = ts_build(&stable, &BuildConfig::with_budget(exact_bytes));
         assert_eq!(report.merges, 0);
         assert_eq!(report.sketch.len(), stable.len());
@@ -369,8 +385,7 @@ mod tests {
         let doc = t1_doc();
         let stable = build_stable(&doc);
         // Force merging the two b-classes: budget below the stable size.
-        let exact_bytes =
-            SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let exact_bytes = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
         let report = ts_build(&stable, &BuildConfig::with_budget(exact_bytes - 1));
         assert!(report.merges >= 1);
         assert!(report.final_bytes < exact_bytes);
@@ -389,11 +404,7 @@ mod tests {
         // Label-split of T1: b cluster holds both b classes; each element
         // of b has avg (1+4)/2 = 2.5 children in c.
         let b_label = doc.labels().get("b").unwrap();
-        let b = report
-            .sketch
-            .nodes_with_label(b_label)
-            .next()
-            .unwrap();
+        let b = report.sketch.nodes_with_label(b_label).next().unwrap();
         let b_node = report.sketch.node(b);
         assert_eq!(b_node.count, 4);
         assert_eq!(b_node.edges.len(), 1);

@@ -160,12 +160,12 @@ impl<'a> ClusterState<'a> {
                     .collect::<Vec<_>>(),
             );
             for &(t, _) in &node.children {
-                incoming[t.index()].push(i as u32);
+                incoming[t.index()].push(axqa_xml::dense_id(i));
             }
             clusters.push(Cluster {
                 label: node.label,
                 alive: true,
-                members: vec![i as u32],
+                members: vec![axqa_xml::dense_id(i)],
                 elem_count: node.extent,
                 depth: node.depth,
                 stats,
@@ -174,11 +174,11 @@ impl<'a> ClusterState<'a> {
         ClusterState {
             stable,
             model,
-            cluster_of: (0..n as u32).collect(),
+            cluster_of: (0..axqa_xml::dense_id(n)).collect(),
             clusters,
             child_k,
             incoming,
-            merged_into: (0..n as u32).collect(),
+            merged_into: (0..axqa_xml::dense_id(n)).collect(),
             version: vec![0; n],
             alive: n,
             total_edges,
@@ -240,7 +240,7 @@ impl<'a> ClusterState<'a> {
             .iter()
             .enumerate()
             .filter(|(_, c)| c.alive)
-            .map(|(i, _)| i as u32)
+            .map(|(i, _)| axqa_xml::dense_id(i))
     }
 
     /// The cluster currently containing `stable_node`.
@@ -252,8 +252,7 @@ impl<'a> ClusterState<'a> {
     /// cluster `p`, computed by scanning the shorter incoming list.
     fn cross_terms(&self, a: u32, b: u32) -> FxHashMap<u32, f64> {
         let mut cross: FxHashMap<u32, f64> = FxHashMap::default();
-        let (probe, other) = if self.incoming[a as usize].len() <= self.incoming[b as usize].len()
-        {
+        let (probe, other) = if self.incoming[a as usize].len() <= self.incoming[b as usize].len() {
             (a, b)
         } else {
             (b, a)
@@ -268,8 +267,7 @@ impl<'a> ClusterState<'a> {
                 continue;
             }
             let n_s = self.stable.node(SynNodeId(s)).extent as f64;
-            *cross.entry(self.cluster_of[s as usize]).or_insert(0.0) +=
-                n_s * ka as f64 * kb as f64;
+            *cross.entry(self.cluster_of[s as usize]).or_insert(0.0) += n_s * ka as f64 * kb as f64;
         }
         cross
     }
@@ -289,7 +287,10 @@ impl<'a> ClusterState<'a> {
     /// Panics (debug) if the clusters are dead, equal, or differ in label.
     pub fn evaluate_merge(&self, a: u32, b: u32) -> MergeDelta {
         debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
-        debug_assert_eq!(self.clusters[a as usize].label, self.clusters[b as usize].label);
+        debug_assert_eq!(
+            self.clusters[a as usize].label,
+            self.clusters[b as usize].label
+        );
         let ca = &self.clusters[a as usize];
         let cb = &self.clusters[b as usize];
         let na = ca.elem_count as f64;
@@ -338,8 +339,8 @@ impl<'a> ClusterState<'a> {
         if has_self {
             // Self-loop target: members of a∪b with edges into a or b;
             // K values combine, adding the exact cross term.
-            let self_cross = cross.get(&a).copied().unwrap_or(0.0)
-                + cross.get(&b).copied().unwrap_or(0.0);
+            let self_cross =
+                cross.get(&a).copied().unwrap_or(0.0) + cross.get(&b).copied().unwrap_or(0.0);
             self_stat.sum2 += 2.0 * self_cross;
             new_child_err += self_stat.err(nc);
             new_child_edges += 1;
@@ -385,7 +386,7 @@ impl<'a> ClusterState<'a> {
     /// Applies the merge of `a` and `b`, returning the new cluster id.
     pub fn apply_merge(&mut self, a: u32, b: u32) -> u32 {
         debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
-        let c = self.clusters.len() as u32;
+        let c = axqa_xml::dense_id(self.clusters.len());
 
         // -- Capture old error contributions of everything we will touch.
         let incoming_ab: Vec<u32> = {
@@ -407,8 +408,8 @@ impl<'a> ClusterState<'a> {
         for &p in &parent_set {
             old_contrib += self.clusters[p as usize].err_total();
         }
-        let mut old_edges = self.clusters[a as usize].stats.len()
-            + self.clusters[b as usize].stats.len();
+        let mut old_edges =
+            self.clusters[a as usize].stats.len() + self.clusters[b as usize].stats.len();
         for &p in &parent_set {
             old_edges += self.clusters[p as usize].stats.len();
         }
@@ -418,8 +419,9 @@ impl<'a> ClusterState<'a> {
         let depth = self.clusters[a as usize]
             .depth
             .max(self.clusters[b as usize].depth);
-        let elem_count =
-            self.clusters[a as usize].elem_count + self.clusters[b as usize].elem_count;
+        let elem_count = self.clusters[a as usize]
+            .elem_count
+            .saturating_add(self.clusters[b as usize].elem_count);
         let mut members = std::mem::take(&mut self.clusters[a as usize].members);
         members.append(&mut self.clusters[b as usize].members);
         for &s in &members {
@@ -471,19 +473,19 @@ impl<'a> ClusterState<'a> {
         for &s in &incoming_ab {
             let ka = self.k_of(s, a);
             let kb = self.k_of(s, b);
-            let kc = ka + kb;
+            let kc = ka.saturating_add(kb);
             debug_assert!(kc > 0);
             let p = self.cluster_of[s as usize];
             let n_s = self.stable.node(SynNodeId(s)).extent as f64;
             // Remove old stat mass, add new.
             let stats = &mut self.clusters[p as usize].stats;
             if ka > 0 {
-                Self::stat_sub(stats, a, n_s * ka as f64, n_s * (ka * ka) as f64);
+                Self::stat_sub(stats, a, n_s * ka as f64, n_s * ka as f64 * ka as f64);
             }
             if kb > 0 {
-                Self::stat_sub(stats, b, n_s * kb as f64, n_s * (kb * kb) as f64);
+                Self::stat_sub(stats, b, n_s * kb as f64, n_s * kb as f64 * kb as f64);
             }
-            Self::stat_add(stats, c, n_s * kc as f64, n_s * (kc * kc) as f64);
+            Self::stat_add(stats, c, n_s * kc as f64, n_s * kc as f64 * kc as f64);
             // Rewrite child_k[s]: drop a/b entries, add c.
             let list = &mut self.child_k[s as usize];
             list.retain(|&(t, _)| t != a && t != b);
@@ -544,7 +546,8 @@ impl<'a> ClusterState<'a> {
     fn recompute_child_k(&mut self, s: u32) {
         let mut acc: FxHashMap<u32, u64> = FxHashMap::default();
         for &(t, k) in &self.stable.node(SynNodeId(s)).children {
-            *acc.entry(self.cluster_of[t.index()]).or_insert(0) += k as u64;
+            let slot = acc.entry(self.cluster_of[t.index()]).or_insert(0);
+            *slot = slot.saturating_add(u64::from(k));
         }
         let mut list: Vec<(u32, u64)> = acc.into_iter().collect();
         list.sort_unstable_by_key(|&(t, _)| t);
@@ -560,7 +563,7 @@ impl<'a> ClusterState<'a> {
             for &(t, k) in &self.child_k[s as usize] {
                 let e = acc.entry(t).or_default();
                 e.sum += n_s * k as f64;
-                e.sum2 += n_s * (k * k) as f64;
+                e.sum2 += n_s * k as f64 * k as f64;
             }
         }
         let mut stats: Vec<(u32, EdgeStat)> = acc.into_iter().collect();
@@ -579,8 +582,7 @@ impl<'a> ClusterState<'a> {
         let members = std::mem::take(&mut self.clusters[id as usize].members);
         debug_assert!(!part.is_empty() && part.len() < members.len());
         let in_part: std::collections::HashSet<u32> = part.iter().copied().collect();
-        let (m1, m2): (Vec<u32>, Vec<u32>) =
-            members.into_iter().partition(|s| in_part.contains(s));
+        let (m1, m2): (Vec<u32>, Vec<u32>) = members.into_iter().partition(|s| in_part.contains(s));
 
         // Global error is recomputed for the affected clusters; capture
         // old contributions first. Affected: id itself and the clusters
@@ -602,7 +604,7 @@ impl<'a> ClusterState<'a> {
 
         let label = self.clusters[id as usize].label;
         let mk = |state: &mut Self, ms: Vec<u32>| -> u32 {
-            let new_id = state.clusters.len() as u32;
+            let new_id = axqa_xml::dense_id(state.clusters.len());
             let elem_count = ms
                 .iter()
                 .map(|&s| state.stable.node(SynNodeId(s)).extent)
@@ -706,14 +708,10 @@ impl<'a> ClusterState<'a> {
         for (i, cluster) in self.clusters.iter().enumerate() {
             if cluster.alive {
                 dense[i] = next;
-                next += 1;
+                next = next.saturating_add(1);
             }
         }
-        let assignment = self
-            .cluster_of
-            .iter()
-            .map(|&c| dense[c as usize])
-            .collect();
+        let assignment = self.cluster_of.iter().map(|&c| dense[c as usize]).collect();
         (sketch, assignment)
     }
 
@@ -723,7 +721,7 @@ impl<'a> ClusterState<'a> {
         let mut nodes: Vec<TsNode> = Vec::with_capacity(self.alive);
         for (i, cluster) in self.clusters.iter().enumerate() {
             if cluster.alive {
-                dense[i] = nodes.len() as u32;
+                dense[i] = axqa_xml::dense_id(nodes.len());
                 nodes.push(TsNode {
                     label: cluster.label,
                     count: cluster.elem_count,
@@ -761,7 +759,7 @@ impl<'a> ClusterState<'a> {
                 for &(t, k) in &self.child_k[s as usize] {
                     let e = acc.entry(t).or_default();
                     e.sum += n_s * k as f64;
-                    e.sum2 += n_s * (k * k) as f64;
+                    e.sum2 += n_s * k as f64 * k as f64;
                 }
             }
             total += acc.values().map(|e| e.err(n)).sum::<f64>();
@@ -784,13 +782,13 @@ impl<'a> ClusterState<'a> {
                     return Err(format!("stable node {s} in two clusters"));
                 }
                 seen[s as usize] = true;
-                if self.cluster_of[s as usize] != i as u32 {
+                if self.cluster_of[s as usize] != axqa_xml::dense_id(i) {
                     return Err(format!("cluster_of[{s}] inconsistent"));
                 }
                 if self.stable.node(SynNodeId(s)).label != cluster.label {
                     return Err(format!("label mismatch in cluster {i}"));
                 }
-                elems += self.stable.node(SynNodeId(s)).extent;
+                elems = elems.saturating_add(self.stable.node(SynNodeId(s)).extent);
             }
             if elems != cluster.elem_count {
                 return Err(format!("cluster {i} elem_count drift"));
@@ -802,8 +800,9 @@ impl<'a> ClusterState<'a> {
         // child_k matches the skeleton.
         for s in 0..self.stable.len() {
             let mut acc: FxHashMap<u32, u64> = FxHashMap::default();
-            for &(t, k) in &self.stable.node(SynNodeId(s as u32)).children {
-                *acc.entry(self.cluster_of[t.index()]).or_insert(0) += k as u64;
+            for &(t, k) in &self.stable.node(SynNodeId(axqa_xml::dense_id(s))).children {
+                let slot = acc.entry(self.cluster_of[t.index()]).or_insert(0);
+                *slot = slot.saturating_add(u64::from(k));
             }
             let mut expected: Vec<(u32, u64)> = acc.into_iter().collect();
             expected.sort_unstable_by_key(|&(t, _)| t);
@@ -824,7 +823,7 @@ impl<'a> ClusterState<'a> {
                 for &(t, k) in &self.child_k[s as usize] {
                     let e = acc.entry(t).or_default();
                     e.sum += n_s * k as f64;
-                    e.sum2 += n_s * (k * k) as f64;
+                    e.sum2 += n_s * k as f64 * k as f64;
                 }
             }
             if acc.len() != cluster.stats.len() {
@@ -930,8 +929,7 @@ mod tests {
     /// evaluate_merge must be side-effect free.
     #[test]
     fn evaluate_merge_is_pure() {
-        let doc = parse_document("<r><a><b/></a><a><b/><b/></a><a><b/><b/><b/></a></r>")
-            .unwrap();
+        let doc = parse_document("<r><a><b/></a><a><b/><b/></a><a><b/><b/><b/></a></r>").unwrap();
         let stable = build_stable(&doc);
         let state = ClusterState::new(&stable, SizeModel::TREESKETCH);
         let ids: Vec<u32> = state.alive_ids().collect();

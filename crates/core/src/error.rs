@@ -1,0 +1,96 @@
+//! The workspace error type.
+//!
+//! Library code in the count-carrying crates is forbidden from
+//! `unwrap()`/`expect()` (workspace lint table; DESIGN.md "Static
+//! analysis & invariants"), so every condition a caller can trigger with
+//! data — malformed input, an empty synopsis, a selectivity ratio with a
+//! zero denominator — surfaces as a typed [`AxqaError`] instead of a
+//! panic. Panics remain only for internal invariants that no input can
+//! violate (id-space overflow, builder-stack discipline).
+
+use crate::io::SketchIoError;
+use axqa_xml::XmlError;
+use std::fmt;
+
+/// Top-level error for fallible operations across the workspace.
+#[derive(Debug)]
+pub enum AxqaError {
+    /// The input document was not well-formed XML.
+    Xml(XmlError),
+    /// A serialized TreeSketch could not be parsed.
+    SketchIo(SketchIoError),
+    /// The operation requires a non-empty synopsis.
+    EmptySynopsis {
+        /// The operation that was attempted.
+        context: &'static str,
+    },
+    /// A selectivity ratio had a zero element count in its denominator.
+    ZeroCountDivision {
+        /// The ratio that was attempted.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for AxqaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxqaError::Xml(e) => write!(f, "malformed XML: {e}"),
+            AxqaError::SketchIo(e) => write!(f, "malformed sketch: {e}"),
+            AxqaError::EmptySynopsis { context } => {
+                write!(f, "{context}: synopsis has no nodes")
+            }
+            AxqaError::ZeroCountDivision { context } => {
+                write!(f, "{context}: division by a zero element count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AxqaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AxqaError::Xml(e) => Some(e),
+            AxqaError::SketchIo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for AxqaError {
+    fn from(e: XmlError) -> AxqaError {
+        AxqaError::Xml(e)
+    }
+}
+
+impl From<SketchIoError> for AxqaError {
+    fn from(e: SketchIoError) -> AxqaError {
+        AxqaError::SketchIo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_cover_all_variants() {
+        let xml: AxqaError = axqa_xml::parse_document("<a>").unwrap_err().into();
+        assert!(xml.to_string().starts_with("malformed XML"));
+        assert!(std::error::Error::source(&xml).is_some());
+
+        let io: AxqaError = crate::io::from_text("garbage").unwrap_err().into();
+        assert!(io.to_string().starts_with("malformed sketch"));
+        assert!(std::error::Error::source(&io).is_some());
+
+        let empty = AxqaError::EmptySynopsis {
+            context: "ts_build",
+        };
+        assert!(empty.to_string().contains("no nodes"));
+        assert!(std::error::Error::source(&empty).is_none());
+
+        let zero = AxqaError::ZeroCountDivision {
+            context: "value selectivity",
+        };
+        assert!(zero.to_string().contains("zero element count"));
+    }
+}

@@ -72,27 +72,28 @@ pub struct ResultSketch {
 }
 
 impl ResultSketch {
-    /// The root binding `(root cluster, q0)`.
+    /// The root binding `(root cluster, q0)` (§4.3: `q0` binds the
+    /// document root).
     pub fn root(&self) -> u32 {
         0
     }
 
-    /// All result nodes (index 0 is the root).
+    /// All result nodes of the §4.3 result sketch (index 0 is the root).
     pub fn nodes(&self) -> &[RNode] {
         &self.nodes
     }
 
-    /// Result nodes binding `var`.
+    /// Result nodes binding `var` (§4.3).
     pub fn bindings(&self, var: QVar) -> &[u32] {
         &self.by_var[var.index()]
     }
 
-    /// The label table (shared vocabulary with the synopsis).
+    /// The label table (shared vocabulary with the §3.2 synopsis).
     pub fn labels(&self) -> &LabelTable {
         &self.labels
     }
 
-    /// Estimated total bindings of `var` (Σ ext over its nodes).
+    /// Estimated total bindings of `var` (Σ ext over its nodes, §4.4).
     pub fn estimated_bindings(&self, var: QVar) -> f64 {
         self.by_var[var.index()]
             .iter()
@@ -100,7 +101,7 @@ impl ResultSketch {
             .sum()
     }
 
-    /// Renders the sketch readably for tests and examples.
+    /// Renders the §4.3 result sketch readably for tests and examples.
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -148,7 +149,8 @@ pub fn eval_query(
 
 /// [`eval_query`] with a value layer: steps carrying value predicates
 /// (`[. > c]`) are scaled by the endpoint cluster's value selectivity.
-/// Without a [`ValueIndex`] value predicates are ignored (structural
+/// Without a [`ValueIndex`] value predicates are ignored (the §4.3
+/// structural
 /// upper bound).
 pub fn eval_query_with_values(
     sketch: &TreeSketch,
@@ -164,7 +166,7 @@ pub fn eval_query_with_values(
         .collect();
     let max_depth = config
         .max_descendant_depth
-        .unwrap_or_else(|| sketch.height() + 1);
+        .unwrap_or_else(|| sketch.height().saturating_add(1));
     let walker = Walker {
         sketch,
         epsilon: config.epsilon,
@@ -203,7 +205,7 @@ pub fn eval_query_with_values(
                     let vq = match node_index.get(&key) {
                         Some(&vq) => vq,
                         None => {
-                            let vq = nodes.len() as u32;
+                            let vq = axqa_xml::dense_id(nodes.len());
                             nodes.push(RNode {
                                 ts: v,
                                 var: qc,
@@ -278,7 +280,7 @@ pub fn eval_query_with_values(
         if !alive[i] {
             continue;
         }
-        remap[i] = compact.len() as u32;
+        remap[i] = axqa_xml::dense_id(compact.len());
         compact.push(RNode {
             ts: node.ts,
             var: node.var,
@@ -307,7 +309,7 @@ pub fn eval_query_with_values(
     }
     let mut final_by_var: Vec<Vec<u32>> = vec![Vec::new(); query.num_vars()];
     for (i, node) in compact.iter().enumerate() {
-        final_by_var[node.var.index()].push(i as u32);
+        final_by_var[node.var.index()].push(axqa_xml::dense_id(i));
     }
     for var in query.vars().skip(1) {
         if query.effectively_required(var) && final_by_var[var.index()].is_empty() {
@@ -330,76 +332,167 @@ struct Walker<'a> {
     values: Option<&'a crate::values::ValueIndex>,
 }
 
+/// Patterns longer than this cannot be tracked in the `u64` state-set
+/// bitmask; such paths match nothing (far beyond any realistic twig).
+const MAX_PATTERN_STATES: usize = 62;
+
+/// Predicate-carrying state advances beyond this many per edge are
+/// resolved pessimistically instead of enumerating `2^n` outcomes.
+const MAX_UNCERTAIN_ADVANCES: usize = 12;
+
+/// One subset-automaton pass over a step pattern: the immutable pattern
+/// tables plus the accumulators every consumed edge writes into.
+struct PatternRun<'p> {
+    /// The step pattern being matched.
+    steps: &'p [ResolvedStep],
+    /// Bitmask of the accepting automaton position (`1 << steps.len()`).
+    accept: u64,
+    /// Surviving partial paths for the next frontier level.
+    next: FxHashMap<(TsNodeId, u64), f64>,
+    /// Accepted path weight per endpoint.
+    out: FxHashMap<TsNodeId, f64>,
+}
+
 impl Walker<'_> {
-    /// Per-endpoint descendant counts of `steps` from `from`: the
-    /// aggregation of `EVALEMBED` over all embeddings, keyed by the final
-    /// embedding node (Fig. 7 lines 5–8).
+    /// Per-endpoint counts of `steps` from `from`, keyed by the final
+    /// node of the path (Fig. 7 lines 5–8).
+    ///
+    /// Paths are enumerated with a weighted *subset automaton* over the
+    /// step pattern: every synopsis path is consumed edge by edge while
+    /// tracking the set of pattern positions it could be parsed up to,
+    /// and its weight (the product of average edge counts) is credited
+    /// to the endpoint exactly once when the accepting position is
+    /// reached. Intermediate steps are therefore existential — a path
+    /// with several ways to embed the pattern (e.g. `//a//b` across
+    /// nested `a`s) still counts each endpoint element once, matching
+    /// the exact evaluator's binding semantics and keeping estimates
+    /// exact on count-stable synopses (Theorem 4.2).
     fn path_counts(&self, from: TsNodeId, steps: &[ResolvedStep]) -> FxHashMap<TsNodeId, f64> {
         let mut out: FxHashMap<TsNodeId, f64> = FxHashMap::default();
-        self.walk(from, steps, 1.0, &mut out);
-        out
-    }
+        if steps.is_empty() {
+            out.insert(from, 1.0);
+            return out;
+        }
+        let m = steps.len();
+        if m > MAX_PATTERN_STATES {
+            return out;
+        }
+        let accept: u64 = 1u64 << m;
+        // Total path-length budget: one edge per child step, up to
+        // `max_depth` filler edges per descendant step. On acyclic
+        // synopses this never truncates (no downward path exceeds the
+        // height); on compressed cyclic synopses it bounds the walk.
+        let budget: u32 = steps
+            .iter()
+            .map(|s| match s.axis {
+                Axis::Child => 1,
+                Axis::Descendant => self.max_depth.max(1),
+            })
+            .sum();
 
-    fn walk(
-        &self,
-        node: TsNodeId,
-        steps: &[ResolvedStep],
-        acc: f64,
-        out: &mut FxHashMap<TsNodeId, f64>,
-    ) {
-        let Some((step, rest)) = steps.split_first() else {
-            *out.entry(node).or_insert(0.0) += acc;
-            return;
+        // Frontier of partial paths, merged by (node, state set).
+        let mut frontier: FxHashMap<(TsNodeId, u64), f64> = FxHashMap::default();
+        frontier.insert((from, 1), 1.0);
+        let mut run = PatternRun {
+            steps,
+            accept,
+            next: FxHashMap::default(),
+            out,
         };
-        let Some(label) = step.label else {
-            return; // label absent from the document: no embedding
-        };
-        match step.axis {
-            Axis::Child => {
-                for &(v, c) in &self.sketch.node(node).edges {
-                    if self.sketch.node(v).label != label {
+        for _ in 0..budget {
+            if frontier.is_empty() {
+                break;
+            }
+            for (&(u, set), &weight) in &frontier {
+                for &(v, c) in &self.sketch.node(u).edges {
+                    let base = weight * c;
+                    if base <= self.epsilon {
                         continue;
                     }
-                    let scaled = acc * c * self.step_selectivity(v, step);
-                    if scaled > self.epsilon {
-                        self.walk(v, rest, scaled, out);
-                    }
+                    self.consume_edge(v, set, base, &mut run);
                 }
             }
-            Axis::Descendant => {
-                self.descend(node, step, label, rest, acc, self.max_depth, out);
+            frontier = std::mem::take(&mut run.next);
+        }
+        run.out
+    }
+
+    /// Advances the subset-automaton state `set` across one synopsis
+    /// edge into `v`, crediting accepted paths to `run.out` and
+    /// surviving partial paths to `run.next`.
+    fn consume_edge(&self, v: TsNodeId, set: u64, base: f64, run: &mut PatternRun<'_>) {
+        let label = self.sketch.node(v).label;
+        // `stay`: positions whose next step is a descendant axis keep
+        // consuming filler edges. `certain`: advances that always
+        // succeed. `uncertain`: advances gated by a fractional branch /
+        // value selectivity — each splits the path flow in two.
+        let mut stay: u64 = 0;
+        let mut certain: u64 = 0;
+        let mut uncertain: Vec<(u64, f64)> = Vec::new();
+        for (i, step) in run.steps.iter().enumerate() {
+            if set & (1u64 << i) == 0 {
+                continue;
             }
+            if step.axis == Axis::Descendant {
+                stay |= 1u64 << i;
+            }
+            if step.label == Some(label) {
+                let s = self.step_selectivity(v, step);
+                let advanced = 1u64 << (i + 1);
+                if s >= 1.0 {
+                    certain |= advanced;
+                } else if s > self.epsilon {
+                    uncertain.push((advanced, s));
+                }
+            }
+        }
+        if uncertain.len() > MAX_UNCERTAIN_ADVANCES {
+            // Degenerate pattern (many predicate-gated advances on one
+            // edge): instead of enumerating 2^n joint outcomes, emit the
+            // single all-succeed outcome weighted by the joint
+            // probability. This under-weights paths that only needed
+            // some of the advances, which is acceptable for a bound
+            // this far outside realistic queries.
+            let mut joint = 1.0f64;
+            for &(bits, s) in &uncertain {
+                certain |= bits;
+                joint *= s;
+            }
+            self.emit(v, stay | certain, base * joint, run);
+            return;
+        }
+        // Enumerate the joint success/failure outcomes of the
+        // uncertain advances (independence across predicates, §4.3).
+        let outcomes = 1usize << uncertain.len();
+        for outcome in 0..outcomes {
+            let mut new_set = stay | certain;
+            let mut p = 1.0f64;
+            for (j, &(bits, s)) in uncertain.iter().enumerate() {
+                if outcome & (1usize << j) != 0 {
+                    new_set |= bits;
+                    p *= s;
+                } else {
+                    p *= 1.0 - s;
+                }
+            }
+            self.emit(v, new_set, base * p, run);
         }
     }
 
-    /// Depth-bounded DFS over descendant embeddings: every path of ≥ 1
-    /// synopsis edges ending at `label` is an embedding of the step.
-    #[allow(clippy::too_many_arguments)]
-    fn descend(
-        &self,
-        node: TsNodeId,
-        step: &ResolvedStep,
-        label: axqa_xml::LabelId,
-        rest: &[ResolvedStep],
-        acc: f64,
-        depth_left: u32,
-        out: &mut FxHashMap<TsNodeId, f64>,
-    ) {
-        if depth_left == 0 {
+    /// Records one partial-path outcome: credit acceptance, then keep
+    /// the path alive for further extension.
+    fn emit(&self, v: TsNodeId, set: u64, weight: f64, run: &mut PatternRun<'_>) {
+        if weight <= self.epsilon {
             return;
         }
-        for &(v, c) in &self.sketch.node(node).edges {
-            let scaled = acc * c;
-            if scaled <= self.epsilon {
-                continue;
-            }
-            if self.sketch.node(v).label == label {
-                let here = scaled * self.step_selectivity(v, step);
-                if here > self.epsilon {
-                    self.walk(v, rest, here, out);
-                }
-            }
-            self.descend(v, step, label, rest, scaled, depth_left - 1, out);
+        if set & run.accept != 0 {
+            *run.out.entry(v).or_insert(0.0) += weight;
+        }
+        // The accepting position has no outgoing transitions; drop it
+        // from the live set before extending.
+        let live = set & !run.accept;
+        if live != 0 {
+            *run.next.entry((v, live)).or_insert(0.0) += weight;
         }
     }
 

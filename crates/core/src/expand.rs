@@ -31,12 +31,10 @@ pub fn expand_result(result: &ResultSketch, max_nodes: usize) -> Expansion {
     let root = result.root() as usize;
     let mut tree = AnswerTree::new(result.labels().clone(), rnodes[root].label);
     // Remainder accumulator per (result node, edge index).
-    let mut remainders: Vec<Vec<f64>> = rnodes
-        .iter()
-        .map(|n| vec![0.0f64; n.edges.len()])
-        .collect();
+    let mut remainders: Vec<Vec<f64>> =
+        rnodes.iter().map(|n| vec![0.0f64; n.edges.len()]).collect();
     let mut queue: VecDeque<(u32, u32)> = VecDeque::new(); // (answer node, rnode)
-    queue.push_back((tree.root(), root as u32));
+    queue.push_back((tree.root(), axqa_xml::dense_id(root)));
     let mut truncated = false;
 
     while let Some((answer_parent, rnode)) = queue.pop_front() {
@@ -45,7 +43,7 @@ pub fn expand_result(result: &ResultSketch, max_nodes: usize) -> Expansion {
             // Largest-remainder rounding across all parents of this edge.
             let slot = &mut remainders[rnode as usize][edge_index];
             *slot += avg;
-            let emit = slot.floor().max(0.0) as usize;
+            let emit = usize::try_from(axqa_xml::f64_to_u64(slot.floor())).unwrap_or(usize::MAX);
             *slot -= emit as f64;
             for _ in 0..emit {
                 if tree.len() >= max_nodes {
@@ -81,10 +79,9 @@ mod tests {
 
     #[test]
     fn exact_sketch_expands_to_exact_nesting_tree() {
-        let doc = parse_document(
-            "<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>")
+                .unwrap();
         let ts = TreeSketch::from_stable(&build_stable(&doc));
         let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
         let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
@@ -110,8 +107,7 @@ mod tests {
         )
         .unwrap();
         let stable = build_stable(&doc);
-        let ts = crate::build::ts_build(&stable, &crate::build::BuildConfig::with_budget(1))
-            .sketch;
+        let ts = crate::build::ts_build(&stable, &crate::build::BuildConfig::with_budget(1)).sketch;
         let query = parse_twig("q1: q0 //b\nq2: q1 /c").unwrap();
         let result = eval_query(&ts, &query, &EvalConfig::default()).unwrap();
         let expansion = expand_result(&result, 100_000);

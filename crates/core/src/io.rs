@@ -56,7 +56,11 @@ pub struct SketchIoError {
 
 impl std::fmt::Display for SketchIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "treesketch parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "treesketch parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -84,7 +88,10 @@ pub fn from_text(text: &str) -> Result<TreeSketch, SketchIoError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        match parts.next().unwrap() {
+        let Some(tag) = parts.next() else {
+            continue; // unreachable: the line is non-empty after trim
+        };
+        match tag {
             "treesketch" => {
                 if parts.next() != Some("v1") {
                     return Err(io_err("unsupported version", line));
@@ -94,7 +101,9 @@ pub fn from_text(text: &str) -> Result<TreeSketch, SketchIoError> {
             "labels" => {}
             "label" => {
                 let _id: u32 = num(&mut parts, line)?;
-                let name = parts.next().ok_or_else(|| io_err("label needs a name", line))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| io_err("label needs a name", line))?;
                 labels.intern(name);
             }
             "nodes" => {
@@ -168,10 +177,23 @@ pub fn from_text(text: &str) -> Result<TreeSketch, SketchIoError> {
     ))
 }
 
-fn num<'a>(
-    parts: &mut impl Iterator<Item = &'a str>,
-    line: usize,
-) -> Result<u32, SketchIoError> {
+/// Parses a serialized sketch into the workspace error type: a
+/// structurally valid file describing a synopsis with no nodes maps to
+/// [`crate::error::AxqaError::EmptySynopsis`], every other failure to
+/// [`crate::error::AxqaError::SketchIo`].
+pub fn load_sketch(text: &str) -> Result<TreeSketch, crate::error::AxqaError> {
+    match from_text(text) {
+        Ok(sketch) => Ok(sketch),
+        Err(e) if e.message == "sketch has no nodes" => {
+            Err(crate::error::AxqaError::EmptySynopsis {
+                context: "load_sketch",
+            })
+        }
+        Err(e) => Err(crate::error::AxqaError::SketchIo(e)),
+    }
+}
+
+fn num<'a>(parts: &mut impl Iterator<Item = &'a str>, line: usize) -> Result<u32, SketchIoError> {
     parts
         .next()
         .ok_or_else(|| io_err("missing numeric field", line))?
@@ -179,10 +201,7 @@ fn num<'a>(
         .map_err(|_| io_err("bad numeric field", line))
 }
 
-fn fnum<'a>(
-    parts: &mut impl Iterator<Item = &'a str>,
-    line: usize,
-) -> Result<f64, SketchIoError> {
+fn fnum<'a>(parts: &mut impl Iterator<Item = &'a str>, line: usize) -> Result<f64, SketchIoError> {
     parts
         .next()
         .ok_or_else(|| io_err("missing float field", line))?
@@ -245,7 +264,9 @@ mod tests {
         assert!(from_text("").is_err());
         assert!(from_text("treesketch v9\n").is_err());
         assert!(from_text("treesketch v1\nnode 0 0 1 0\n").is_err()); // unknown label
-        assert!(from_text("treesketch v1\nlabel 0 a\nnodes 1 root 5 sq 0\nnode 0 0 1 0\n").is_err());
+        assert!(
+            from_text("treesketch v1\nlabel 0 a\nnodes 1 root 5 sq 0\nnode 0 0 1 0\n").is_err()
+        );
         assert!(from_text("treesketch v1\nwhatever\n").is_err());
     }
 }

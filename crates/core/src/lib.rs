@@ -1,3 +1,24 @@
+// Count-carrying crate (ISSUE 1; DESIGN.md "Static analysis & invariants"):
+// lossy casts and unchecked arithmetic on element/edge counts are denied
+// outside tests, on top of the workspace lint table.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::arithmetic_side_effects
+    )
+)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
 //! # axqa-core — TreeSketch synopses (the paper's contribution)
 //!
 //! A TreeSketch (§3.2, Definition 3.2) is a graph synopsis whose nodes
@@ -25,6 +46,7 @@
 
 pub mod build;
 pub mod cluster;
+pub mod error;
 pub mod eval;
 pub mod expand;
 pub mod io;
@@ -33,11 +55,12 @@ pub mod sketch;
 pub mod topdown;
 pub mod values;
 
-pub use build::{ts_build, BuildConfig, BuildReport};
+pub use build::{try_ts_build, ts_build, BuildConfig, BuildReport};
 pub use cluster::ClusterState;
+pub use error::AxqaError;
 pub use eval::{eval_query, eval_query_with_values, EvalConfig, ResultSketch};
 pub use expand::{expand_result, Expansion};
-pub use selectivity::estimate_selectivity;
+pub use selectivity::{estimate_selectivity, try_estimate_query_selectivity};
 pub use sketch::{TreeSketch, TsNodeId};
 pub use topdown::topdown_build;
 pub use values::{ValueIndex, ValueSummary};

@@ -51,6 +51,22 @@ pub fn estimate_query_selectivity(
     }
 }
 
+/// Fallible variant of [`estimate_query_selectivity`]: rejects an empty
+/// synopsis with [`crate::error::AxqaError::EmptySynopsis`] instead of
+/// silently estimating zero.
+pub fn try_estimate_query_selectivity(
+    sketch: &crate::sketch::TreeSketch,
+    query: &TwigQuery,
+    config: &crate::eval::EvalConfig,
+) -> Result<f64, crate::error::AxqaError> {
+    if sketch.is_empty() {
+        return Err(crate::error::AxqaError::EmptySynopsis {
+            context: "estimate_query_selectivity",
+        });
+    }
+    Ok(estimate_query_selectivity(sketch, query, config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

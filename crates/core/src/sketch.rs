@@ -162,7 +162,7 @@ impl TreeSketch {
             .iter()
             .enumerate()
             .filter(move |(_, n)| n.label == label)
-            .map(|(i, _)| TsNodeId(i as u32))
+            .map(|(i, _)| TsNodeId(axqa_xml::dense_id(i)))
     }
 
     /// Sum of `count(u)` over all clusters = number of summarized

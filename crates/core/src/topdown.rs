@@ -167,11 +167,7 @@ mod tests {
         let model = SizeModel::TREESKETCH;
         let exact_bytes = model.graph_bytes(stable.len(), stable.num_edges());
         let ts = topdown_build(&stable, &BuildConfig::with_budget(exact_bytes * 4));
-        assert!(
-            ts.squared_error() < 1e-9,
-            "err = {}",
-            ts.squared_error()
-        );
+        assert!(ts.squared_error() < 1e-9, "err = {}", ts.squared_error());
     }
 
     #[test]

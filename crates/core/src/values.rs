@@ -50,6 +50,20 @@ impl ValueSummary {
         let value_fraction = self.with_value as f64 / self.total as f64;
         (satisfying as f64 / self.sample.len() as f64) * value_fraction
     }
+
+    /// Fallible variant of [`ValueSummary::selectivity`]: a non-trivial
+    /// predicate over a cluster with a zero element count is a
+    /// division-by-zero-count, reported as
+    /// [`crate::error::AxqaError::ZeroCountDivision`] instead of being
+    /// coerced to selectivity 0.
+    pub fn try_selectivity(&self, preds: &[ValuePred]) -> Result<f64, crate::error::AxqaError> {
+        if !preds.is_empty() && self.total == 0 {
+            return Err(crate::error::AxqaError::ZeroCountDivision {
+                context: "value-predicate selectivity",
+            });
+        }
+        Ok(self.selectivity(preds))
+    }
 }
 
 /// Value summaries for every node of one TreeSketch.
@@ -79,7 +93,7 @@ impl ValueIndex {
             let node = stable_assignment[class.index()] as usize;
             if let Some(v) = doc.value(element) {
                 values[node].push(v);
-                with_value[node] += 1;
+                with_value[node] = with_value[node].saturating_add(1);
             }
         }
         let per_node = values
@@ -100,7 +114,7 @@ impl ValueIndex {
                 ValueSummary {
                     sample,
                     with_value: with_value[i],
-                    total: sketch.node(TsNodeId(i as u32)).count,
+                    total: sketch.node(TsNodeId(axqa_xml::dense_id(i))).count,
                     exact,
                 }
             })
@@ -116,7 +130,7 @@ impl ValueIndex {
         sketch: &TreeSketch,
         capacity: usize,
     ) -> ValueIndex {
-        let identity: Vec<u32> = (0..stable.len() as u32).collect();
+        let identity: Vec<u32> = (0..axqa_xml::dense_id(stable.len())).collect();
         ValueIndex::build(doc, stable, sketch, &identity, capacity)
     }
 
@@ -133,10 +147,7 @@ impl ValueIndex {
     /// Additional bytes the value layer occupies: 4 per stored sample
     /// value + 8 per node (counts).
     pub fn size_bytes(&self) -> usize {
-        self.per_node
-            .iter()
-            .map(|s| 8 + 4 * s.sample.len())
-            .sum()
+        self.per_node.iter().map(|s| 8 + 4 * s.sample.len()).sum()
     }
 
     /// Serializes the index (line-oriented, like the other formats):
@@ -147,8 +158,10 @@ impl ValueIndex {
     /// ```
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("values v1
-");
+        let mut out = String::from(
+            "values v1
+",
+        );
         for (i, s) in self.per_node.iter().enumerate() {
             let _ = write!(
                 out,
@@ -177,7 +190,10 @@ impl ValueIndex {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            match parts.next().unwrap() {
+            let Some(tag) = parts.next() else {
+                continue; // unreachable: the line is non-empty after trim
+            };
+            match tag {
                 "values" => {
                     if parts.next() != Some("v1") {
                         return Err(format!("line {}: unsupported version", lineno + 1));
@@ -198,8 +214,8 @@ impl ValueIndex {
                             .and_then(|t| t.parse().ok())
                             .ok_or_else(|| format!("line {}: bad {what}", lineno + 1))
                     };
-                    let with_value = num("with_value")? as u64;
-                    let total = num("total")? as u64;
+                    let with_value = axqa_xml::f64_to_u64(num("with_value")?);
+                    let total = axqa_xml::f64_to_u64(num("total")?);
                     let exact = num("exact")? != 0.0;
                     let sample: Result<Vec<f64>, String> = parts
                         .map(|t| {
@@ -335,8 +351,11 @@ mod tests {
             assert_eq!(a.exact, b.exact);
         }
         assert!(ValueIndex::from_text("garbage").is_err());
-        assert!(ValueIndex::from_text("values v2
-").is_err());
+        assert!(ValueIndex::from_text(
+            "values v2
+"
+        )
+        .is_err());
     }
 
     #[test]
@@ -346,18 +365,11 @@ mod tests {
         let stable = build_stable(&doc);
         let report = ts_build(&stable, &BuildConfig::with_budget(1));
         let sketch = report.sketch;
-        let values = ValueIndex::build(
-            &doc,
-            &stable,
-            &sketch,
-            &report.stable_assignment,
-            64,
-        );
+        let values = ValueIndex::build(&doc, &stable, &sketch, &report.stable_assignment, 64);
         let index = DocIndex::build(&doc);
         let query = parse_twig("q1: q0 //year[. > 2000]").unwrap();
         let exact = exact_selectivity(&doc, &index, &query);
-        let result =
-            eval_query_with_values(&sketch, &query, &EvalConfig::default(), Some(&values));
+        let result = eval_query_with_values(&sketch, &query, &EvalConfig::default(), Some(&values));
         let estimate = result.map_or(0.0, |r| estimate_selectivity(&r, &query));
         assert!(
             (exact - estimate).abs() < 1e-9,

@@ -1,0 +1,74 @@
+// Integration tests opt back into panicking extractors.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! ISSUE satellite: malformed input must surface as a typed
+//! [`AxqaError`], never a panic — malformed XML, an empty synopsis, and
+//! a zero-count division in selectivity estimation each map to their own
+//! variant.
+
+use axqa_core::error::AxqaError;
+use axqa_core::values::ValueSummary;
+use axqa_core::{try_estimate_query_selectivity, try_ts_build, BuildConfig, EvalConfig};
+use axqa_query::{parse_twig, ValueOp, ValuePred};
+use axqa_synopsis::build_stable;
+use axqa_xml::parse_document;
+
+#[test]
+fn malformed_xml_is_a_typed_error() {
+    for bad in ["<a>", "<a></b>", "", "</a>", "<a/><b/>"] {
+        let err: AxqaError = parse_document(bad).unwrap_err().into();
+        assert!(
+            matches!(err, AxqaError::Xml(_)),
+            "{bad:?} should map to AxqaError::Xml, got {err}"
+        );
+        assert!(err.to_string().starts_with("malformed XML"));
+    }
+}
+
+#[test]
+fn empty_synopsis_is_a_typed_error() {
+    // A structurally valid serialization describing zero nodes.
+    let err = axqa_core::io::load_sketch("treesketch v1\nnodes 0 root 0 sq 0.0\n").unwrap_err();
+    assert!(matches!(err, AxqaError::EmptySynopsis { .. }), "got {err}");
+
+    // Garbage is an IO error, not an empty-synopsis error.
+    let err = axqa_core::io::load_sketch("garbage").unwrap_err();
+    assert!(matches!(err, AxqaError::SketchIo(_)), "got {err}");
+}
+
+#[test]
+fn non_empty_inputs_pass_the_fallible_apis() {
+    let doc = parse_document("<r><a><b/></a><a><b/><b/></a></r>").unwrap();
+    let stable = build_stable(&doc);
+    let report = try_ts_build(&stable, &BuildConfig::with_budget(4096)).unwrap();
+    let query = parse_twig("q1: q0 //a\nq2: q1 /b").unwrap();
+    let estimate =
+        try_estimate_query_selectivity(&report.sketch, &query, &EvalConfig::default()).unwrap();
+    assert!((estimate - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn zero_count_division_in_value_selectivity_is_a_typed_error() {
+    // A cluster claiming values but zero elements: the value fraction
+    // `with_value / total` would divide by a zero count.
+    let summary = ValueSummary {
+        sample: vec![1.0, 2.0],
+        with_value: 2,
+        total: 0,
+        exact: true,
+    };
+    let pred = ValuePred {
+        op: ValueOp::Gt,
+        constant: 0.0,
+    };
+    let err = summary.try_selectivity(&[pred]).unwrap_err();
+    assert!(
+        matches!(err, AxqaError::ZeroCountDivision { .. }),
+        "got {err}"
+    );
+    assert!(err.to_string().contains("zero element count"));
+
+    // No predicates → nothing to divide; trivially selectivity 1.
+    let ok = summary.try_selectivity(&[]).unwrap();
+    assert!((ok - 1.0).abs() < 1e-12);
+}

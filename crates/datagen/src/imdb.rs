@@ -36,7 +36,9 @@ fn zipf(rng: &mut StdRng, max: u32) -> u32 {
     // Inverse-power transform; exponent ≈ 1.3 gives a credible cast
     // distribution.
     let x = (1.0 - u).powf(-1.0 / 1.3);
-    (x.round() as u32).clamp(1, max)
+    u32::try_from(axqa_xml::f64_to_u64(x.round()))
+        .unwrap_or(u32::MAX)
+        .clamp(1, max)
 }
 
 fn gen_movie(b: &mut DocumentBuilder, rng: &mut StdRng) {

@@ -197,10 +197,7 @@ mod tests {
         // Entries essentially never share a whole-subtree shape.
         let entry = doc.labels().get("entry").unwrap();
         let classes = stable.classes_with_label(entry).count();
-        let entries = doc
-            .node_ids()
-            .filter(|&n| doc.label(n) == entry)
-            .count();
+        let entries = doc.node_ids().filter(|&n| doc.label(n) == entry).count();
         assert!(
             classes as f64 > entries as f64 * 0.8,
             "{classes} classes for {entries} entries"

@@ -255,7 +255,14 @@ mod tests {
     #[test]
     fn has_expected_sections() {
         let doc = generate(&GenConfig::sized(8_000));
-        for tag in ["site", "person", "open_auction", "closed_auction", "item", "bidder"] {
+        for tag in [
+            "site",
+            "person",
+            "open_auction",
+            "closed_auction",
+            "item",
+            "bidder",
+        ] {
             assert!(doc.labels().get(tag).is_some(), "missing {tag}");
         }
         assert_eq!(doc.label_name(doc.root()), "site");

@@ -160,11 +160,7 @@ impl Engine<'_> {
                 Some(key) => groups.entry(key).or_default().1.push((c, m)),
                 None => {
                     // Label unknown on the other side: wholly unmatched.
-                    groups
-                        .entry((u32::MAX, c))
-                        .or_default()
-                        .1
-                        .push((c, m));
+                    groups.entry((u32::MAX, c)).or_default().1.push((c, m));
                 }
             }
         }
@@ -207,12 +203,10 @@ mod tests {
 
     /// Figure 10's trees with |Sc| = |Sd| = 1 (single nodes).
     fn fig10_t() -> Document {
-        parse_document("<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>")
-            .unwrap()
+        parse_document("<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>").unwrap()
     }
     fn fig10_t1() -> Document {
-        parse_document("<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>")
-            .unwrap()
+        parse_document("<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>").unwrap()
     }
     fn fig10_t2() -> Document {
         parse_document(

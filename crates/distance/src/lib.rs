@@ -1,3 +1,24 @@
+// Count-carrying crate (ISSUE 1; DESIGN.md "Static analysis & invariants"):
+// lossy casts and unchecked arithmetic on element/edge counts are denied
+// outside tests, on top of the workspace lint table.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::arithmetic_side_effects
+    )
+)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
 //! # axqa-distance — error metrics for approximate XML answers (§5)
 //!
 //! §5 argues that syntax-oriented metrics such as tree-edit distance
@@ -33,7 +54,9 @@ pub mod setdist;
 pub mod tree_edit;
 pub mod weighted;
 
-pub use esd::{esd_answer, esd_answer_tree, esd_documents, esd_empty_answer, esd_summaries, EsdConfig};
+pub use esd::{
+    esd_answer, esd_answer_tree, esd_documents, esd_empty_answer, esd_summaries, EsdConfig,
+};
 pub use setdist::SetDistance;
 pub use tree_edit::{tree_edit_distance, EditCosts};
 pub use weighted::WeightedSummary;

@@ -239,7 +239,9 @@ impl MinCostFlow {
                         continue;
                     }
                     for &e in &self.adj[node] {
-                        if self.cap[e] > 1e-12 && dist[node] + self.cost[e] < dist[self.to[e]] - 1e-12 {
+                        if self.cap[e] > 1e-12
+                            && dist[node] + self.cost[e] < dist[self.to[e]] - 1e-12
+                        {
                             dist[self.to[e]] = dist[node] + self.cost[e];
                             pred[self.to[e]] = Some(e);
                             changed = true;
@@ -257,7 +259,9 @@ impl MinCostFlow {
             let mut bottleneck = f64::INFINITY;
             let mut node = sink;
             while node != source {
-                let e = pred[node].expect("path exists");
+                let Some(e) = pred[node] else {
+                    break; // unreachable: dist[sink] finite implies a full path
+                };
                 bottleneck = bottleneck.min(self.cap[e]);
                 node = self.to[e ^ 1];
             }
@@ -266,7 +270,9 @@ impl MinCostFlow {
             }
             let mut node = sink;
             while node != source {
-                let e = pred[node].expect("path exists");
+                let Some(e) = pred[node] else {
+                    break; // unreachable: dist[sink] finite implies a full path
+                };
                 self.cap[e] -= bottleneck;
                 self.cap[e ^ 1] += bottleneck;
                 node = self.to[e ^ 1];

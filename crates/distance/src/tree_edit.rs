@@ -197,14 +197,10 @@ mod tests {
     fn figure10_edit_distance_cannot_separate_t1_t2() {
         // §5: under insert/delete editing both approximations are
         // 3·|Sc| + 3·|Sd| away from T (with |Sc| = |Sd| = 1 → 6).
-        let t = parse_document(
-            "<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>",
-        )
-        .unwrap();
-        let t1 = parse_document(
-            "<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>",
-        )
-        .unwrap();
+        let t = parse_document("<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>")
+            .unwrap();
+        let t1 = parse_document("<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>")
+            .unwrap();
         let t2 = parse_document(
             "<r><a><c/><c/><c/><c/><c/><c/><d/><d/></a>\
              <a><c/><c/><d/><d/><d/><d/><d/><d/></a></r>",

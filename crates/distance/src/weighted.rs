@@ -129,7 +129,7 @@ impl WeightedSummary {
             let mut collapsed: Vec<(u32, u64)> = Vec::new();
             for &(class, _) in &signature {
                 match collapsed.last_mut() {
-                    Some(last) if last.0 == class => last.1 += 1,
+                    Some(last) if last.0 == class => last.1 = last.1.saturating_add(1),
                     _ => collapsed.push((class, 1)),
                 }
             }
@@ -139,7 +139,7 @@ impl WeightedSummary {
             let class = match table.get(&key) {
                 Some(&c) => c,
                 None => {
-                    let c = nodes.len() as u32;
+                    let c = axqa_xml::dense_id(nodes.len());
                     let edges: Vec<(u32, f64)> =
                         key.2.iter().map(|&(t, m)| (t, m as f64)).collect();
                     let size = 1.0
@@ -185,7 +185,7 @@ impl WeightedSummary {
             let mut collapsed: Vec<(u32, u64)> = Vec::new();
             for &(class, _) in &signature {
                 match collapsed.last_mut() {
-                    Some(last) if last.0 == class => last.1 += 1,
+                    Some(last) if last.0 == class => last.1 = last.1.saturating_add(1),
                     _ => collapsed.push((class, 1)),
                 }
             }
@@ -193,7 +193,7 @@ impl WeightedSummary {
             let class = match table.get(&key) {
                 Some(&c) => c,
                 None => {
-                    let c = nodes.len() as u32;
+                    let c = axqa_xml::dense_id(nodes.len());
                     let edges: Vec<(u32, f64)> =
                         key.2.iter().map(|&(t, m)| (t, m as f64)).collect();
                     let size = 1.0
@@ -229,15 +229,12 @@ impl WeightedSummary {
         // Result nodes are created parents-first; reversing gives a
         // children-before-parents order.
         let n = rnodes.len();
-        let remap = |i: u32| (n as u32 - 1) - i;
+        let last = axqa_xml::dense_id(n).saturating_sub(1);
+        let remap = |i: u32| last.saturating_sub(i);
         let mut nodes: Vec<WNode> = Vec::with_capacity(n);
         for i in (0..n).rev() {
             let r = &rnodes[i];
-            let mut edges: Vec<(u32, f64)> = r
-                .edges
-                .iter()
-                .map(|&(t, m)| (remap(t), m))
-                .collect();
+            let mut edges: Vec<(u32, f64)> = r.edges.iter().map(|&(t, m)| (remap(t), m)).collect();
             edges.sort_unstable_by_key(|&(t, _)| t);
             let size = 1.0
                 + edges
@@ -262,7 +259,10 @@ impl WeightedSummary {
 fn collect_post_order(nt: &NestingTree) -> Vec<NtNodeId> {
     // NT children have strictly larger ids than their parent, so a
     // reverse id scan is already post-order for our purposes.
-    (0..nt.len() as u32).rev().map(NtNodeId).collect()
+    (0..axqa_xml::dense_id(nt.len()))
+        .rev()
+        .map(NtNodeId)
+        .collect()
 }
 
 #[cfg(test)]
@@ -287,10 +287,9 @@ mod tests {
 
     #[test]
     fn nesting_tree_summary_dedups_identical_subtrees() {
-        let doc = parse_document(
-            "<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>")
+                .unwrap();
         let index = DocIndex::build(&doc);
         let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
         let nt = evaluate(&doc, &index, &query).unwrap();
@@ -304,10 +303,9 @@ mod tests {
 
     #[test]
     fn result_sketch_summary_matches_nesting_tree_on_stable_synopsis() {
-        let doc = parse_document(
-            "<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<d><a><p><k/></p></a><a><p><k/></p></a><a><p><k/><k/></p></a></d>")
+                .unwrap();
         let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
         let ts = TreeSketch::from_stable(&build_stable(&doc));
         let rs = eval_query(&ts, &query, &EvalConfig::default()).unwrap();

@@ -69,7 +69,7 @@ impl AnswerTree {
 
     /// Appends a binding under `parent`, returning its index.
     pub fn add(&mut self, parent: u32, label: LabelId, var: QVar) -> u32 {
-        let id = self.nodes.len() as u32;
+        let id = axqa_xml::dense_id(self.nodes.len());
         self.nodes.push(AnswerNode {
             label,
             var,
@@ -86,15 +86,11 @@ impl AnswerTree {
         // NT ids are parent-before-child; map as we go.
         let mut map = vec![u32::MAX; nt.len()];
         map[0] = 0;
-        for i in 0..nt.len() as u32 {
+        for i in 0..axqa_xml::dense_id(nt.len()) {
             let parent_new = map[i as usize];
             debug_assert_ne!(parent_new, u32::MAX);
             for &child in nt.children(NtNodeId(i)) {
-                let new = tree.add(
-                    parent_new,
-                    doc.label(nt.element(child)),
-                    nt.var(child),
-                );
+                let new = tree.add(parent_new, doc.label(nt.element(child)), nt.var(child));
                 map[child.index()] = new;
             }
         }
@@ -112,10 +108,8 @@ mod tests {
 
     #[test]
     fn from_nesting_tree_preserves_shape() {
-        let doc = parse_document(
-            "<d><a><p><k/></p><n/></a><a><p><k/><k/></p><n/></a></d>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<d><a><p><k/></p><n/></a><a><p><k/><k/></p><n/></a></d>").unwrap();
         let index = DocIndex::build(&doc);
         let query = parse_twig("q1: q0 //a\nq2: q1 //p\nq3: q2 //k").unwrap();
         let nt = evaluate(&doc, &index, &query).unwrap();

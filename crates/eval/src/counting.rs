@@ -98,7 +98,10 @@ mod tests {
                    <a><n/><p><k/></p><b><t/></b></a>\
                    <a><n/><p><k/></p><b><t/></b></a></d>";
         check(src, "q1: q0 //a\nq2: q1 //p\nq3: q2 //k");
-        check(src, "q1: q0 //a[//b]\nq2: q1 //p\nq3: q2 ? //k\nq4: q1 ? //n");
+        check(
+            src,
+            "q1: q0 //a[//b]\nq2: q1 //p\nq3: q2 ? //k\nq4: q1 ? //n",
+        );
         check(src, "q1: q0 //a\nq2: q1 //b\nq3: q1 //k");
         check(src, "q1: q0 //zzz");
         check(src, "q1: q0 //a\nq2: q1 ? //zzz");

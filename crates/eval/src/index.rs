@@ -30,13 +30,15 @@ impl DocIndex {
         let mut pre = vec![0u32; n];
         let mut order = Vec::with_capacity(n);
         for (rank, node) in doc.pre_order().enumerate() {
-            pre[node.index()] = rank as u32;
+            pre[node.index()] = axqa_xml::dense_id(rank);
             order.push(node);
         }
         let mut size = vec![1u32; n];
         for node in doc.post_order() {
             for child in doc.children(node) {
-                size[node.index()] += size[child.index()];
+                // Subtree sizes are bounded by the node count, which the
+                // document arena already caps at u32::MAX.
+                size[node.index()] = size[node.index()].saturating_add(size[child.index()]);
             }
         }
         let mut by_label = vec![Vec::new(); doc.labels().len()];
@@ -74,7 +76,7 @@ impl DocIndex {
     pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
         let a = self.rank(ancestor);
         let n = self.rank(node);
-        n > a && n < a + self.subtree_size(ancestor)
+        n > a && n < a.saturating_add(self.subtree_size(ancestor))
     }
 
     /// The proper descendants of `context` with `label`, in document
@@ -84,8 +86,10 @@ impl DocIndex {
             Some(list) => list.as_slice(),
             None => return &[],
         };
-        let lo = self.rank(context) + 1;
-        let hi = self.rank(context) + self.subtree_size(context); // exclusive
+        let lo = self.rank(context).saturating_add(1);
+        let hi = self
+            .rank(context)
+            .saturating_add(self.subtree_size(context)); // exclusive
         let start = list.partition_point(|&r| r < lo);
         let end = list.partition_point(|&r| r < hi);
         &list[start..end]

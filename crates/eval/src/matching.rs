@@ -10,9 +10,9 @@
 //! query evaluation probes.
 
 use crate::index::DocIndex;
+use axqa_query::{Axis, ResolvedPath, ResolvedStep};
 use axqa_xml::fxhash::FxHashMap;
 use axqa_xml::{Document, NodeId};
-use axqa_query::{Axis, ResolvedPath, ResolvedStep};
 
 /// Evaluator for resolved path expressions over one document.
 pub struct PathMatcher<'a> {
@@ -105,11 +105,7 @@ impl<'a> PathMatcher<'a> {
             });
         }
         if !step.predicates.is_empty() {
-            out.retain(|&n| {
-                step.predicates
-                    .iter()
-                    .all(|p| self.exists_memoized(n, p))
-            });
+            out.retain(|&n| step.predicates.iter().all(|p| self.exists_memoized(n, p)));
         }
         out
     }
@@ -289,7 +285,9 @@ mod value_tests {
         .unwrap();
         let index = DocIndex::build(&doc);
         let mut matcher = PathMatcher::new(&doc, &index);
-        let after_2000 = parse_path("//year[. > 2000]").unwrap().resolve(doc.labels());
+        let after_2000 = parse_path("//year[. > 2000]")
+            .unwrap()
+            .resolve(doc.labels());
         assert_eq!(matcher.matches(doc.root(), &after_2000).len(), 1);
         let any_year = parse_path("//year").unwrap().resolve(doc.labels());
         assert_eq!(matcher.matches(doc.root(), &any_year).len(), 2);
@@ -307,19 +305,20 @@ mod value_tests {
         let index = DocIndex::build(&doc);
         let mut matcher = PathMatcher::new(&doc, &index);
         // Papers published after 2000.
-        let path = parse_path("//p[year[. > 2000]]/k").unwrap().resolve(doc.labels());
+        let path = parse_path("//p[year[. > 2000]]/k")
+            .unwrap()
+            .resolve(doc.labels());
         assert_eq!(matcher.matches(doc.root(), &path).len(), 2);
     }
 
     #[test]
     fn range_predicates() {
-        let doc = parse_document(
-            "<r><v>1</v><v>5</v><v>7</v><v>12</v></r>",
-        )
-        .unwrap();
+        let doc = parse_document("<r><v>1</v><v>5</v><v>7</v><v>12</v></r>").unwrap();
         let index = DocIndex::build(&doc);
         let mut matcher = PathMatcher::new(&doc, &index);
-        let path = parse_path("/v[. >= 5][. < 12]").unwrap().resolve(doc.labels());
+        let path = parse_path("/v[. >= 5][. < 12]")
+            .unwrap()
+            .resolve(doc.labels());
         assert_eq!(matcher.matches(doc.root(), &path).len(), 2); // 5 and 7
     }
 }

@@ -159,7 +159,7 @@ pub fn evaluate_with(matcher: &mut PathMatcher<'_>, query: &TwigQuery) -> Option
         for pb in parent_bindings {
             let context = nodes[pb.index()].element;
             for element in matcher.matches(context, path) {
-                let id = NtNodeId(nodes.len() as u32);
+                let id = NtNodeId(axqa_xml::dense_id(nodes.len()));
                 nodes.push(NtNode {
                     element,
                     var,
@@ -205,7 +205,7 @@ pub fn evaluate_with(matcher: &mut PathMatcher<'_>, query: &TwigQuery) -> Option
         // enforce reachability by requiring the parent to be remapped
         // already (nodes are in parent-first order). The root is always
         // index 0.
-        remap[i] = compact.len() as u32;
+        remap[i] = axqa_xml::dense_id(compact.len());
         compact.push(NtNode {
             element: node.element,
             var: node.var,

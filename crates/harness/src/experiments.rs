@@ -3,9 +3,7 @@
 use crate::pipeline::{relative_error, PipelineConfig, Prepared};
 use crate::report::{fmt_f, fmt_kb, fmt_secs, Table};
 use axqa_core::build::ts_build_sweep;
-use axqa_core::{
-    estimate_selectivity, eval_query, ts_build, BuildConfig, EvalConfig, TreeSketch,
-};
+use axqa_core::{estimate_selectivity, eval_query, ts_build, BuildConfig, EvalConfig, TreeSketch};
 use axqa_datagen::workload::{negative_workload, positive_workload, WorkloadConfig};
 use axqa_datagen::Dataset;
 use axqa_distance::{esd_summaries, EsdConfig, WeightedSummary};
@@ -84,7 +82,10 @@ pub fn table1(config: &ExperimentConfig) -> Table {
         if base == 0 {
             return;
         }
-        let target = ((base as f64) * config.pipeline.scale).max(2_000.0) as usize;
+        let target = usize::try_from(axqa_xml::f64_to_u64(
+            ((base as f64) * config.pipeline.scale).max(2_000.0),
+        ))
+        .unwrap_or(usize::MAX);
         let doc = axqa_datagen::generate(
             dataset,
             &axqa_datagen::GenConfig {
@@ -231,7 +232,10 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
         let n_esd = config.esd_queries.min(prepared.workload.len());
         // Truth summaries are budget-independent: compute once.
         let truths: Vec<WeightedSummary> = parallel_map(config, n_esd, |i| {
-            let nt = prepared.nesting[i].as_ref().expect("positive query");
+            let nt = match prepared.nesting[i].as_ref() {
+                Some(nt) => nt,
+                None => unreachable!("workload keeps only positive queries"),
+            };
             WeightedSummary::from_nesting_tree(&prepared.doc, nt)
         });
         let build_workload = if config.with_xsketch {
@@ -245,7 +249,11 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
             &["Budget", "TreeSketch", "TwigXSketch"],
         );
         let budget_bytes: Vec<usize> = config.budgets_kb.iter().map(|&b| kb(b)).collect();
-        let sweep = ts_build_sweep(&prepared.stable, &budget_bytes, &BuildConfig::with_budget(0));
+        let sweep = ts_build_sweep(
+            &prepared.stable,
+            &budget_bytes,
+            &BuildConfig::with_budget(0),
+        );
         for (sweep_index, &budget_kb) in config.budgets_kb.iter().enumerate() {
             let ts = sweep[sweep_index].clone();
             let ts_esd: Vec<f64> = parallel_map(config, n_esd, |i| {
@@ -288,11 +296,13 @@ fn esd_of_treesketch_answer(
             let approx = WeightedSummary::from_result_sketch(&result);
             esd_summaries(truth, &approx, esd_config)
         }
-        None => axqa_distance::esd_empty_answer(
-            &prepared.doc,
-            prepared.nesting[i].as_ref().expect("positive"),
-            esd_config,
-        ),
+        None => {
+            let nt = match prepared.nesting[i].as_ref() {
+                Some(nt) => nt,
+                None => unreachable!("workload keeps only positive queries"),
+            };
+            axqa_distance::esd_empty_answer(&prepared.doc, nt, esd_config)
+        }
     }
 }
 
@@ -305,16 +315,23 @@ fn esd_of_xsketch_answer(
     config: &ExperimentConfig,
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(config.pipeline.seed ^ (i as u64).wrapping_mul(0x9E37));
-    match sample_answer(xs, &prepared.workload[i], &SampleConfig::default(), &mut rng) {
+    match sample_answer(
+        xs,
+        &prepared.workload[i],
+        &SampleConfig::default(),
+        &mut rng,
+    ) {
         Some(tree) => {
             let approx = WeightedSummary::from_answer_tree(&tree);
             esd_summaries(truth, &approx, esd_config)
         }
-        None => axqa_distance::esd_empty_answer(
-            &prepared.doc,
-            prepared.nesting[i].as_ref().expect("positive"),
-            esd_config,
-        ),
+        None => {
+            let nt = match prepared.nesting[i].as_ref() {
+                Some(nt) => nt,
+                None => unreachable!("workload keeps only positive queries"),
+            };
+            axqa_distance::esd_empty_answer(&prepared.doc, nt, esd_config)
+        }
     }
 }
 
@@ -344,7 +361,11 @@ pub fn fig12(config: &ExperimentConfig) -> Vec<Table> {
         );
         let n = prepared.workload.len();
         let budget_bytes: Vec<usize> = config.budgets_kb.iter().map(|&b| kb(b)).collect();
-        let sweep = ts_build_sweep(&prepared.stable, &budget_bytes, &BuildConfig::with_budget(0));
+        let sweep = ts_build_sweep(
+            &prepared.stable,
+            &budget_bytes,
+            &BuildConfig::with_budget(0),
+        );
         for (sweep_index, &budget_kb) in config.budgets_kb.iter().enumerate() {
             let ts = sweep[sweep_index].clone();
             let ts_err: Vec<f64> = parallel_map(config, n, |i| {
@@ -409,7 +430,11 @@ pub fn fig13(config: &ExperimentConfig) -> Table {
         // prefix-stable), and its wall time is the reported build cost.
         let fig13_budgets = [10usize, 20, 30, 40, 50];
         let budget_bytes: Vec<usize> = fig13_budgets.iter().map(|&b| kb(b)).collect();
-        let sweep = ts_build_sweep(&prepared.stable, &budget_bytes, &BuildConfig::with_budget(0));
+        let sweep = ts_build_sweep(
+            &prepared.stable,
+            &budget_bytes,
+            &BuildConfig::with_budget(0),
+        );
         let build_time = start.elapsed();
         let mut errs: Vec<String> = Vec::new();
         for (sweep_index, _budget_kb) in fig13_budgets.iter().enumerate() {
@@ -487,8 +512,10 @@ pub fn ablation_topdown(config: &ExperimentConfig) -> Table {
         let prepared = Prepared::new(dataset, false, &config.pipeline);
         for &budget_kb in &config.budgets_kb {
             let bottom = ts_build(&prepared.stable, &BuildConfig::with_budget(kb(budget_kb)));
-            let top =
-                axqa_core::topdown_build(&prepared.stable, &BuildConfig::with_budget(kb(budget_kb)));
+            let top = axqa_core::topdown_build(
+                &prepared.stable,
+                &BuildConfig::with_budget(kb(budget_kb)),
+            );
             table.row(vec![
                 format!("{}-TX", dataset.name()),
                 format!("{budget_kb}KB"),
@@ -519,7 +546,10 @@ pub fn values(config: &ExperimentConfig) -> Table {
     );
     for (dataset, paths) in [
         (Dataset::Dblp, ["//year", "//article/year", "//book/year"]),
-        (Dataset::Imdb, ["//movie/year", "//year", "//person/birthdate"]),
+        (
+            Dataset::Imdb,
+            ["//movie/year", "//year", "//person/birthdate"],
+        ),
     ] {
         let prepared = Prepared::new(
             dataset,
@@ -623,7 +653,11 @@ pub fn family(config: &ExperimentConfig) -> Table {
         );
         let doc = &prepared.doc;
         let fmt = |classes: usize, edges: usize| {
-            format!("{} ({})", classes, fmt_kb(model.graph_bytes(classes, edges)))
+            format!(
+                "{} ({})",
+                classes,
+                fmt_kb(model.graph_bytes(classes, edges))
+            )
         };
         let a0 = axqa_synopsis::ak_index(doc, 0);
         let a2 = axqa_synopsis::ak_index(doc, 2);
@@ -661,7 +695,7 @@ where
     let threads = config.pipeline.effective_threads().max(1);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -672,12 +706,17 @@ where
                 results.lock()[i] = Some(value);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
+    if scope_result.is_err() {
+        panic!("experiment worker panicked");
+    }
     results
         .into_inner()
         .into_iter()
-        .map(|slot| slot.expect("all indices computed"))
+        .map(|slot| match slot {
+            Some(value) => value,
+            None => unreachable!("all indices computed"),
+        })
         .collect()
 }
 

@@ -81,7 +81,11 @@ fn main() -> ExitCode {
         config.pipeline.queries,
         config.pipeline.seed,
         config.budgets_kb,
-        if config.with_xsketch { "" } else { ", no xsketch" },
+        if config.with_xsketch {
+            ""
+        } else {
+            ", no xsketch"
+        },
     );
     let started = std::time::Instant::now();
     match command.as_str() {

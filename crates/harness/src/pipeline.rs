@@ -85,7 +85,10 @@ impl Prepared {
                 tx
             }
         };
-        let target = ((base as f64) * config.scale).max(2_000.0) as usize;
+        let target = usize::try_from(axqa_xml::f64_to_u64(
+            ((base as f64) * config.scale).max(2_000.0),
+        ))
+        .unwrap_or(usize::MAX);
         let doc = generate(
             dataset,
             &GenConfig {
@@ -148,7 +151,7 @@ fn exact_ground_truth(
     type Slot = Option<(Option<NestingTree>, f64)>;
     let results: Mutex<Vec<Slot>> = Mutex::new(vec![None; workload.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -170,12 +173,16 @@ fn exact_ground_truth(
                 results.lock()[i] = Some((nt, count));
             });
         }
-    })
-    .expect("exact evaluation worker panicked");
+    });
+    if scope_result.is_err() {
+        panic!("exact evaluation worker panicked");
+    }
     let mut nesting = Vec::with_capacity(workload.len());
     let mut exact = Vec::with_capacity(workload.len());
     for slot in results.into_inner() {
-        let (nt, count) = slot.expect("every query evaluated");
+        let Some((nt, count)) = slot else {
+            unreachable!("every query evaluated");
+        };
         nesting.push(nt);
         exact.push(count);
     }

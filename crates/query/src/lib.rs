@@ -1,3 +1,15 @@
+// Tests opt back into panicking extractors; library code returns errors
+// (workspace lint table, DESIGN.md "Static analysis & invariants").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
 //! # axqa-query — twig queries over node-labeled XML trees
 //!
 //! The paper (§2) models a twig query `Q` as a node-labeled *query tree*

@@ -36,7 +36,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -115,7 +119,10 @@ impl<'a> Cursor<'a> {
         let start = self.pos;
         let bytes = self.input.as_bytes();
         while self.pos < bytes.len()
-            && matches!(bytes[self.pos], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+            && matches!(
+                bytes[self.pos],
+                b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E'
+            )
         {
             self.pos += 1;
         }
@@ -233,9 +240,12 @@ pub fn parse_twig(input: &str) -> Result<TwigQuery, QueryParseError> {
 }
 
 fn parse_var(text: &str, offset: usize) -> Result<QVar, QueryParseError> {
-    let digits = text
-        .strip_prefix('q')
-        .ok_or_else(|| err(format!("expected a variable like q1, found {text:?}"), offset))?;
+    let digits = text.strip_prefix('q').ok_or_else(|| {
+        err(
+            format!("expected a variable like q1, found {text:?}"),
+            offset,
+        )
+    })?;
     let n: u32 = digits
         .parse()
         .map_err(|_| err(format!("bad variable number in {text:?}"), offset))?;
@@ -371,10 +381,29 @@ mod fuzz_tests {
     #[test]
     fn parser_rejects_garbage_without_panicking() {
         let nasty = [
-            "", "[", "]", "//", "///", "//a[", "//a[.]", "//a[.>>3]",
-            "//a[b", "q1 q0 //a", "q1:", "q1: q0", "q1: q0 ?", "q0: q0 /a",
-            "q1: q0 //a\nq1: q0 //b", "q2: q1 //a", "//a[.=1e]", "//a[]",
-            "/a/[b]", "//a//", "//a[//b]]", "q1: qx //a", "//a[. = ]",
+            "",
+            "[",
+            "]",
+            "//",
+            "///",
+            "//a[",
+            "//a[.]",
+            "//a[.>>3]",
+            "//a[b",
+            "q1 q0 //a",
+            "q1:",
+            "q1: q0",
+            "q1: q0 ?",
+            "q0: q0 /a",
+            "q1: q0 //a\nq1: q0 //b",
+            "q2: q1 //a",
+            "//a[.=1e]",
+            "//a[]",
+            "/a/[b]",
+            "//a//",
+            "//a[//b]]",
+            "q1: qx //a",
+            "//a[. = ]",
         ];
         for input in nasty {
             let _ = parse_path(input);

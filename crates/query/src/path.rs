@@ -166,11 +166,10 @@ impl PathExpr {
 
     /// Attaches a predicate to the *last* step, builder style.
     pub fn with_predicate(mut self, predicate: PathExpr) -> PathExpr {
-        self.steps
-            .last_mut()
-            .expect("path has at least one step")
-            .predicates
-            .push(predicate);
+        match self.steps.last_mut() {
+            Some(last) => last.predicates.push(predicate),
+            None => panic!("with_predicate on an empty path"),
+        }
         self
     }
 
@@ -188,11 +187,10 @@ impl PathExpr {
 
     /// Attaches a value predicate to the *last* step, builder style.
     pub fn with_value_pred(mut self, pred: ValuePred) -> PathExpr {
-        self.steps
-            .last_mut()
-            .expect("path has at least one step")
-            .value_preds
-            .push(pred);
+        match self.steps.last_mut() {
+            Some(last) => last.value_preds.push(pred),
+            None => panic!("with_value_pred on an empty path"),
+        }
         self
     }
 
@@ -205,7 +203,13 @@ impl PathExpr {
     pub fn total_steps(&self) -> usize {
         self.steps
             .iter()
-            .map(|s| 1 + s.predicates.iter().map(PathExpr::total_steps).sum::<usize>())
+            .map(|s| {
+                1 + s
+                    .predicates
+                    .iter()
+                    .map(PathExpr::total_steps)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -270,9 +274,9 @@ impl ResolvedPath {
     /// Whether every label (including inside predicates) resolved. A path
     /// with any unresolved label matches nothing.
     pub fn fully_resolved(&self) -> bool {
-        self.steps.iter().all(|s| {
-            s.label.is_some() && s.predicates.iter().all(ResolvedPath::fully_resolved)
-        })
+        self.steps
+            .iter()
+            .all(|s| s.label.is_some() && s.predicates.iter().all(ResolvedPath::fully_resolved))
     }
 
     /// The predicate-free spine.

@@ -86,7 +86,9 @@ impl TwigQuery {
             path,
             optional,
         });
-        QVar(self.nodes.len() as u32)
+        // Query trees are tiny (≤ dozens of variables); saturation is
+        // unreachable in practice but keeps the cast lossless.
+        QVar(u32::try_from(self.nodes.len()).unwrap_or(u32::MAX))
     }
 
     /// Number of variables including `q0`.
@@ -115,7 +117,7 @@ impl TwigQuery {
 
     /// All variables in numeric (pre-order-compatible) order, `q0` first.
     pub fn vars(&self) -> impl Iterator<Item = QVar> {
-        (0..self.num_vars() as u32).map(QVar)
+        (0..u32::try_from(self.num_vars()).unwrap_or(u32::MAX)).map(QVar)
     }
 
     /// Children of `var` in numeric order.
@@ -124,7 +126,7 @@ impl TwigQuery {
             .iter()
             .enumerate()
             .filter(move |(_, n)| n.parent == var)
-            .map(|(i, _)| QVar(i as u32 + 1))
+            .map(|(i, _)| QVar(u32::try_from(i + 1).unwrap_or(u32::MAX)))
     }
 
     /// Whether `var` has children.
@@ -255,11 +257,11 @@ mod tests {
     #[test]
     fn total_steps() {
         let mut q = TwigQuery::new();
-        let q1 = q.add(
-            QVar::ROOT,
-            PathExpr::descendant("a").then(Axis::Child, "b"),
+        let q1 = q.add(QVar::ROOT, PathExpr::descendant("a").then(Axis::Child, "b"));
+        q.add(
+            q1,
+            PathExpr::child("c").with_predicate(PathExpr::child("d")),
         );
-        q.add(q1, PathExpr::child("c").with_predicate(PathExpr::child("d")));
         assert_eq!(q.total_steps(), 4);
     }
 

@@ -30,12 +30,7 @@ pub fn expand(summary: &StableSummary) -> Document {
     doc
 }
 
-fn expand_children(
-    summary: &StableSummary,
-    class: SynNodeId,
-    doc: &mut Document,
-    element: NodeId,
-) {
+fn expand_children(summary: &StableSummary, class: SynNodeId, doc: &mut Document, element: NodeId) {
     // Iterative worklist to avoid deep recursion on tall documents.
     let mut work: Vec<(SynNodeId, NodeId)> = vec![(class, element)];
     while let Some((class, element)) = work.pop() {
@@ -56,7 +51,7 @@ pub fn expanded_subtree_size(summary: &StableSummary, class: SynNodeId) -> u64 {
     // scan suffices; compute sizes for all and index.
     let mut sizes = vec![0u64; summary.len()];
     for i in 0..summary.len() {
-        let node = summary.node(SynNodeId(i as u32));
+        let node = summary.node(SynNodeId(axqa_xml::dense_id(i)));
         let mut size = 1u64;
         for &(child, k) in &node.children {
             size = size.saturating_add((k as u64).saturating_mul(sizes[child.index()]));
@@ -78,7 +73,7 @@ mod tests {
         // Compute a canonical string per class bottom-up.
         let mut forms: Vec<String> = vec![String::new(); summary.len()];
         for i in 0..summary.len() {
-            let node = summary.node(SynNodeId(i as u32));
+            let node = summary.node(SynNodeId(axqa_xml::dense_id(i)));
             let mut child_forms: Vec<String> = node
                 .children
                 .iter()

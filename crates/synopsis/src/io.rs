@@ -54,7 +54,11 @@ pub struct StableIoError {
 
 impl std::fmt::Display for StableIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "stable summary parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "stable summary parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -81,7 +85,9 @@ pub fn from_text(text: &str) -> Result<StableSummary, StableIoError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let tag = parts.next().unwrap();
+        let Some(tag) = parts.next() else {
+            continue; // unreachable: the line is non-empty after trim
+        };
         match tag {
             "stable" => {
                 if parts.next() != Some("v1") {
@@ -147,13 +153,12 @@ pub fn from_text(text: &str) -> Result<StableSummary, StableIoError> {
         depths[i] = nodes[i]
             .children
             .iter()
-            .map(|&(t, _)| depths[t.index()] + 1)
+            .map(|&(t, _)| depths[t.index()].saturating_add(1))
             .max()
             .unwrap_or(0);
         nodes[i].depth = depths[i];
     }
-    StableSummary::from_parts(labels, nodes, total_elements)
-        .map_err(|message| io_err(message, 1))
+    StableSummary::from_parts(labels, nodes, total_elements).map_err(|message| io_err(message, 1))
 }
 
 fn next_num<'a>(
@@ -175,10 +180,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let doc = parse_document(
-            "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a><a><b><c/></b></a></r>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<r><a><b><c/></b><b><c/><c/><c/><c/></b></a><a><b><c/></b></a></r>")
+                .unwrap();
         let summary = build_stable(&doc);
         let text = to_text(&summary);
         let back = from_text(&text).unwrap();

@@ -1,3 +1,24 @@
+// Count-carrying crate (ISSUE 1; DESIGN.md "Static analysis & invariants"):
+// lossy casts and unchecked arithmetic on element/edge counts are denied
+// outside tests, on top of the workspace lint table.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::arithmetic_side_effects
+    )
+)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
 //! # axqa-synopsis — graph synopses and count-stable summaries
 //!
 //! §3.1 of the paper defines a *graph synopsis* `S_R(T)` for an XML tree

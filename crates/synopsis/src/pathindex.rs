@@ -66,10 +66,7 @@ pub fn ak_index(doc: &Document, k: u32) -> Partition {
     // Level 0: by label. Level i: by (own class at i-1, parent class at
     // i-1) — the standard bisimulation refinement, which on trees equals
     // the last-(i+1)-labels criterion.
-    let mut class_of: Vec<u32> = doc
-        .node_ids()
-        .map(|n| doc.label(n).0)
-        .collect();
+    let mut class_of: Vec<u32> = doc.node_ids().map(|n| doc.label(n).0).collect();
     // Compact level-0 ids.
     class_of = compact(&class_of);
     for _ in 0..k {
@@ -84,7 +81,7 @@ pub fn ak_index(doc: &Document, k: u32) -> Partition {
                 .parent(element)
                 .map(|p| class_of[p.index()])
                 .unwrap_or(u32::MAX);
-            let fresh = table.len() as u32;
+            let fresh = axqa_xml::dense_id(table.len());
             let id = *table.entry((own, parent)).or_insert(fresh);
             next[element.index()] = id;
         }
@@ -115,7 +112,7 @@ fn compact(class_of: &[u32]) -> Vec<u32> {
     class_of
         .iter()
         .map(|&c| {
-            let fresh = remap.len() as u32;
+            let fresh = axqa_xml::dense_id(remap.len());
             *remap.entry(c).or_insert(fresh)
         })
         .collect()
@@ -129,7 +126,7 @@ fn finish(doc: &Document, raw: Vec<u32>) -> Partition {
     for element in doc.node_ids() {
         let class = class_of[element.index()] as usize;
         labels[class] = doc.label(element);
-        extents[class] += 1;
+        extents[class] = extents[class].saturating_add(1);
     }
     Partition {
         class_of,
@@ -143,10 +140,7 @@ fn finish(doc: &Document, raw: Vec<u32>) -> Partition {
 /// assignment, in the same [`Partition`] shape (for size comparisons
 /// across the synopsis family).
 pub fn stable_partition(doc: &Document, summary: &crate::stable::StableSummary) -> Partition {
-    let class_of: Vec<u32> = doc
-        .node_ids()
-        .map(|n| summary.class_of(n).0)
-        .collect();
+    let class_of: Vec<u32> = doc.node_ids().map(|n| summary.class_of(n).0).collect();
     let num_classes = summary.len();
     let labels = summary.nodes().iter().map(|n| n.label).collect();
     let extents = summary.nodes().iter().map(|n| n.extent).collect();
@@ -165,10 +159,7 @@ mod tests {
     use axqa_xml::parse_document;
 
     fn sample() -> Document {
-        parse_document(
-            "<r><a><b/><b/></a><c><a><b/></a></c><a><d/></a></r>",
-        )
-        .unwrap()
+        parse_document("<r><a><b/><b/></a><c><a><b/></a></c><a><d/></a></r>").unwrap()
     }
 
     #[test]
@@ -187,7 +178,8 @@ mod tests {
             let p = ak_index(&doc, k);
             assert!(
                 p.num_classes >= previous,
-                "A({k}) coarser than A({})", k.saturating_sub(1)
+                "A({k}) coarser than A({})",
+                k.saturating_sub(1)
             );
             assert!(p.verify_labels(&doc));
             previous = p.num_classes;

@@ -100,7 +100,7 @@ impl StableSummary {
     /// contains every other subtree, so its class is a singleton and is
     /// created last by the post-order construction.
     pub fn root(&self) -> SynNodeId {
-        SynNodeId(self.nodes.len() as u32 - 1)
+        SynNodeId(axqa_xml::dense_id(self.nodes.len()).saturating_sub(1))
     }
 
     /// The label table (shared vocabulary with the source document).
@@ -129,7 +129,7 @@ impl StableSummary {
             .iter()
             .enumerate()
             .filter(move |(_, n)| n.label == label)
-            .map(|(i, _)| SynNodeId(i as u32))
+            .map(|(i, _)| SynNodeId(axqa_xml::dense_id(i)))
     }
 
     /// Parent adjacency: for every node, the list of `(parent, k)` edges
@@ -138,7 +138,7 @@ impl StableSummary {
         let mut parents = vec![Vec::new(); self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             for &(child, k) in &node.children {
-                parents[child.index()].push((SynNodeId(i as u32), k));
+                parents[child.index()].push((SynNodeId(axqa_xml::dense_id(i)), k));
             }
         }
         parents
@@ -191,13 +191,16 @@ impl StableSummary {
         for element in doc.node_ids() {
             let class = self.class_of(element);
             let node = self.node(class);
-            extent_check[class.index()] += 1;
+            extent_check[class.index()] = extent_check[class.index()].saturating_add(1);
             if doc.label(element) != node.label {
-                return Err(format!("element {element:?} label differs from class {class}"));
+                return Err(format!(
+                    "element {element:?} label differs from class {class}"
+                ));
             }
             let mut counts: FxHashMap<SynNodeId, u32> = FxHashMap::default();
             for child in doc.children(element) {
-                *counts.entry(self.class_of(child)).or_insert(0) += 1;
+                let slot = counts.entry(self.class_of(child)).or_insert(0);
+                *slot = slot.saturating_add(1);
             }
             let mut expected: Vec<(SynNodeId, u32)> = counts.into_iter().collect();
             expected.sort_unstable_by_key(|&(t, _)| t);
@@ -252,7 +255,7 @@ pub fn build_stable(doc: &Document) -> StableSummary {
         let mut collapsed: Vec<(SynNodeId, u32)> = Vec::with_capacity(signature.len());
         for &(class, _) in signature.iter() {
             match collapsed.last_mut() {
-                Some(last) if last.0 == class => last.1 += 1,
+                Some(last) if last.0 == class => last.1 = last.1.saturating_add(1),
                 _ => collapsed.push((class, 1)),
             }
         }
@@ -260,15 +263,15 @@ pub fn build_stable(doc: &Document) -> StableSummary {
         let key = (label, collapsed);
         let class = match table.get(&key) {
             Some(&class) => {
-                nodes[class.index()].extent += 1;
+                nodes[class.index()].extent = nodes[class.index()].extent.saturating_add(1);
                 class
             }
             None => {
-                let id = SynNodeId(nodes.len() as u32);
+                let id = SynNodeId(axqa_xml::dense_id(nodes.len()));
                 let depth = key
                     .1
                     .iter()
-                    .map(|&(t, _)| nodes[t.index()].depth + 1)
+                    .map(|&(t, _)| nodes[t.index()].depth.saturating_add(1))
                     .max()
                     .unwrap_or(0);
                 nodes.push(StableNode {
@@ -412,8 +415,7 @@ mod tests {
 
     #[test]
     fn recursive_markup() {
-        let doc =
-            parse_document("<r><l><l><l/></l></l><l><l><l/></l></l></r>").unwrap();
+        let doc = parse_document("<r><l><l><l/></l></l><l><l><l/></l></l></r>").unwrap();
         let s = build_stable(&doc);
         s.verify_against(&doc).unwrap();
         // Three distinct l-classes by nesting depth.

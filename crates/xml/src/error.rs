@@ -38,17 +38,29 @@ pub enum XmlError {
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XmlError::UnexpectedEof { open_tag: Some(tag) } => {
+            XmlError::UnexpectedEof {
+                open_tag: Some(tag),
+            } => {
                 write!(f, "unexpected end of input: element <{tag}> is still open")
             }
             XmlError::UnexpectedEof { open_tag: None } => {
                 write!(f, "unexpected end of input")
             }
-            XmlError::MismatchedTag { expected, found, offset } => {
-                write!(f, "mismatched closing tag </{found}> at byte {offset}: expected </{expected}>")
+            XmlError::MismatchedTag {
+                expected,
+                found,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "mismatched closing tag </{found}> at byte {offset}: expected </{expected}>"
+                )
             }
             XmlError::MultipleRoots { offset } => {
-                write!(f, "second root element at byte {offset}: a document has exactly one root")
+                write!(
+                    f,
+                    "second root element at byte {offset}: a document has exactly one root"
+                )
             }
             XmlError::EmptyDocument => write!(f, "document contains no element"),
             XmlError::Malformed { message, offset } => {
@@ -79,9 +91,11 @@ mod tests {
 
     #[test]
     fn eof_with_and_without_tag() {
-        assert!(XmlError::UnexpectedEof { open_tag: Some("x".into()) }
-            .to_string()
-            .contains("<x>"));
+        assert!(XmlError::UnexpectedEof {
+            open_tag: Some("x".into())
+        }
+        .to_string()
+        .contains("<x>"));
         assert!(!XmlError::UnexpectedEof { open_tag: None }
             .to_string()
             .contains('<'));

@@ -46,7 +46,12 @@ impl LabelTable {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = LabelId(u32::try_from(self.names.len()).expect("more than u32::MAX labels"));
+        let id = match u32::try_from(self.names.len()) {
+            Ok(next) => LabelId(next),
+            // A document alphabet beyond u32::MAX distinct tags cannot be
+            // represented; aborting beats silently aliasing label ids.
+            Err(_) => panic!("label table overflow: more than u32::MAX distinct labels"),
+        };
         let boxed: Box<str> = name.into();
         self.names.push(boxed.clone());
         self.by_name.insert(boxed, id);
@@ -81,7 +86,7 @@ impl LabelTable {
         self.names
             .iter()
             .enumerate()
-            .map(|(i, n)| (LabelId(i as u32), n.as_ref()))
+            .map(|(i, n)| (LabelId(u32::try_from(i).unwrap_or(u32::MAX)), n.as_ref()))
     }
 }
 
@@ -126,7 +131,11 @@ mod tests {
         let collected: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
         assert_eq!(
             collected,
-            vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]
+            vec![
+                (0, "x".to_owned()),
+                (1, "y".to_owned()),
+                (2, "z".to_owned())
+            ]
         );
     }
 }

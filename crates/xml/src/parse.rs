@@ -54,7 +54,12 @@ pub fn parse_document(input: &str) -> Result<Document, XmlError> {
             let close_at = find_gt(input, end)?;
             match open.pop() {
                 Some(expected) if expected == tag => {
-                    let b = builder.as_mut().expect("open implies builder");
+                    let Some(b) = builder.as_mut() else {
+                        return Err(XmlError::Malformed {
+                            message: "closing tag before any element".into(),
+                            offset: pos,
+                        });
+                    };
                     // Numeric text directly inside a leaf becomes its
                     // value (the value-content extension).
                     if let Some(start) = text_start {
@@ -124,7 +129,9 @@ pub fn parse_document(input: &str) -> Result<Document, XmlError> {
         None => Err(XmlError::EmptyDocument),
         Some(b) => {
             if let Some(tag) = open.pop() {
-                return Err(XmlError::UnexpectedEof { open_tag: Some(tag) });
+                return Err(XmlError::UnexpectedEof {
+                    open_tag: Some(tag),
+                });
             }
             Ok(b.finish())
         }
@@ -248,7 +255,9 @@ mod tests {
     fn mismatched_tag_is_reported() {
         let err = parse_document("<a><b></a></b>").unwrap_err();
         match err {
-            XmlError::MismatchedTag { expected, found, .. } => {
+            XmlError::MismatchedTag {
+                expected, found, ..
+            } => {
                 assert_eq!(expected, "b");
                 assert_eq!(found, "a");
             }
@@ -275,7 +284,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert_eq!(parse_document("  \n ").unwrap_err(), XmlError::EmptyDocument);
+        assert_eq!(
+            parse_document("  \n ").unwrap_err(),
+            XmlError::EmptyDocument
+        );
     }
 
     #[test]

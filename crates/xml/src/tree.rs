@@ -139,7 +139,12 @@ impl Document {
 
     /// Appends a child labeled `label` under `parent`, returning its id.
     pub fn add_child(&mut self, parent: NodeId, label: LabelId) -> NodeId {
-        let id = u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes");
+        let id = match u32::try_from(self.nodes.len()) {
+            Ok(next) => next,
+            // The arena addresses nodes with u32; beyond that the tree is
+            // unrepresentable and aborting beats aliasing node ids.
+            Err(_) => panic!("document overflow: more than u32::MAX nodes"),
+        };
         self.nodes.push(NodeData {
             label,
             parent: parent.0,
@@ -240,7 +245,7 @@ impl Document {
 
     /// Iterates all node ids in arena order (== creation order).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..u32::try_from(self.nodes.len()).unwrap_or(u32::MAX)).map(NodeId)
     }
 }
 
@@ -349,7 +354,7 @@ impl DocumentBuilder {
 
     /// Opens a new element under the current one; it becomes current.
     pub fn open(&mut self, name: &str) -> NodeId {
-        let parent = *self.stack.last().expect("builder stack never empty");
+        let parent = self.current();
         let id = self.doc.add_child_named(parent, name);
         self.stack.push(id);
         id
@@ -357,7 +362,7 @@ impl DocumentBuilder {
 
     /// Adds an empty element under the current one (open + close).
     pub fn leaf(&mut self, name: &str) -> NodeId {
-        let parent = *self.stack.last().expect("builder stack never empty");
+        let parent = self.current();
         self.doc.add_child_named(parent, name)
     }
 
@@ -396,7 +401,11 @@ impl DocumentBuilder {
 
     /// The currently open element.
     pub fn current(&self) -> NodeId {
-        *self.stack.last().expect("builder stack never empty")
+        match self.stack.last() {
+            Some(&id) => id,
+            // The stack starts with the root and `close` refuses to pop it.
+            None => unreachable!("builder stack never empty"),
+        }
     }
 
     /// Nodes built so far.

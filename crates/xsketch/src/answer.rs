@@ -60,7 +60,7 @@ pub fn sample_answer<R: Rng + ?Sized>(
         max_depth: config
             .eval
             .max_descendant_depth
-            .unwrap_or_else(|| sketch.height() + 1),
+            .unwrap_or_else(|| sketch.height().saturating_add(1)),
     };
 
     let root_label = sketch.node(sketch.root()).label;
@@ -68,9 +68,15 @@ pub fn sample_answer<R: Rng + ?Sized>(
     // Bindings of each variable: (answer node, synopsis node).
     let mut bind: Vec<Vec<(u32, XsNodeId)>> = vec![Vec::new(); query.num_vars()];
     bind[0].push((tree.root(), sketch.root()));
-    let mut budget = Budget {
-        nodes_left: config.max_nodes,
-        intermediates_left: config.max_intermediates,
+    let mut sampler = Sampler {
+        sketch,
+        walker,
+        budget: Budget {
+            nodes_left: config.max_nodes,
+            intermediates_left: config.max_intermediates,
+        },
+        found: Vec::new(),
+        rng,
     };
 
     for var in query.vars() {
@@ -78,21 +84,13 @@ pub fn sample_answer<R: Rng + ?Sized>(
             let path = &resolved[qc.index() - 1];
             let parents = bind[var.index()].clone();
             for (answer_parent, xs_parent) in parents {
-                let mut found: Vec<XsNodeId> = Vec::new();
-                sample_path(
-                    sketch,
-                    &walker,
-                    xs_parent,
-                    &path.steps,
-                    &mut found,
-                    &mut budget,
-                    rng,
-                );
-                for xs_node in found {
-                    if budget.nodes_left == 0 {
+                sampler.found.clear();
+                sampler.sample_path(xs_parent, &path.steps);
+                for xs_node in std::mem::take(&mut sampler.found) {
+                    if sampler.budget.nodes_left == 0 {
                         break;
                     }
-                    budget.nodes_left -= 1;
+                    sampler.budget.nodes_left -= 1;
                     let label = sketch.node(xs_node).label;
                     let id = tree.add(answer_parent, label, qc);
                     bind[qc.index()].push((id, xs_node));
@@ -114,111 +112,87 @@ struct Budget {
     intermediates_left: usize,
 }
 
-/// Samples the multiset of endpoint bindings of `steps` from one element
-/// of `node`, pushing one entry per sampled binding.
-fn sample_path<R: Rng + ?Sized>(
-    sketch: &XSketch,
-    walker: &XsWalker<'_>,
-    node: XsNodeId,
-    steps: &[ResolvedStep],
-    found: &mut Vec<XsNodeId>,
-    budget: &mut Budget,
-    rng: &mut R,
-) {
-    let Some((step, rest)) = steps.split_first() else {
-        found.push(node);
-        return;
-    };
-    let Some(label) = step.label else { return };
-    match step.axis {
-        Axis::Child => {
-            let counts = sketch.node(node).histogram.sample(rng);
-            for (dim, edge) in sketch.node(node).edges.iter().enumerate() {
-                if sketch.node(edge.target).label != label {
-                    continue;
-                }
-                for _ in 0..counts.get(dim).copied().unwrap_or(0) {
-                    if !keep_by_predicates(walker, edge.target, step, rng) {
+/// Sampling state threaded through the recursive walk: the synopsis,
+/// the estimator (for predicate selectivities), the generation budget,
+/// the RNG and the accumulator of sampled endpoints.
+struct Sampler<'a, R: Rng + ?Sized> {
+    sketch: &'a XSketch,
+    walker: XsWalker<'a>,
+    budget: Budget,
+    found: Vec<XsNodeId>,
+    rng: &'a mut R,
+}
+
+impl<R: Rng + ?Sized> Sampler<'_, R> {
+    /// Samples the multiset of endpoint bindings of `steps` from one
+    /// element of `node`, pushing one entry per sampled binding.
+    fn sample_path(&mut self, node: XsNodeId, steps: &[ResolvedStep]) {
+        let Some((step, rest)) = steps.split_first() else {
+            self.found.push(node);
+            return;
+        };
+        let Some(label) = step.label else { return };
+        match step.axis {
+            Axis::Child => {
+                let counts = self.sketch.node(node).histogram.sample(self.rng);
+                let num_edges = self.sketch.node(node).edges.len();
+                for dim in 0..num_edges {
+                    let target = self.sketch.node(node).edges[dim].target;
+                    if self.sketch.node(target).label != label {
                         continue;
                     }
-                    sample_path(sketch, walker, edge.target, rest, found, budget, rng);
+                    for _ in 0..counts.get(dim).copied().unwrap_or(0) {
+                        if !self.keep_by_predicates(target, step) {
+                            continue;
+                        }
+                        self.sample_path(target, rest);
+                    }
                 }
             }
-        }
-        Axis::Descendant => {
-            sample_descend(
-                sketch,
-                walker,
-                node,
-                step,
-                label,
-                rest,
-                found,
-                walker.max_depth,
-                budget,
-                rng,
-            );
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn sample_descend<R: Rng + ?Sized>(
-    sketch: &XSketch,
-    walker: &XsWalker<'_>,
-    node: XsNodeId,
-    step: &ResolvedStep,
-    label: axqa_xml::LabelId,
-    rest: &[ResolvedStep],
-    found: &mut Vec<XsNodeId>,
-    depth_left: u32,
-    budget: &mut Budget,
-    rng: &mut R,
-) {
-    if depth_left == 0 || budget.intermediates_left == 0 {
-        return;
-    }
-    let counts = sketch.node(node).histogram.sample(rng);
-    for (dim, edge) in sketch.node(node).edges.iter().enumerate() {
-        let k = counts.get(dim).copied().unwrap_or(0);
-        for _ in 0..k {
-            if budget.intermediates_left == 0 {
-                return;
+            Axis::Descendant => {
+                self.sample_descend(node, step, label, rest, self.walker.max_depth);
             }
-            budget.intermediates_left -= 1;
-            if sketch.node(edge.target).label == label
-                && keep_by_predicates(walker, edge.target, step, rng)
-            {
-                sample_path(sketch, walker, edge.target, rest, found, budget, rng);
-            }
-            sample_descend(
-                sketch,
-                walker,
-                edge.target,
-                step,
-                label,
-                rest,
-                found,
-                depth_left - 1,
-                budget,
-                rng,
-            );
         }
     }
-}
 
-/// Bernoulli filter: keep the element with probability equal to the
-/// estimated selectivity of each branch predicate.
-fn keep_by_predicates<R: Rng + ?Sized>(
-    walker: &XsWalker<'_>,
-    node: XsNodeId,
-    step: &ResolvedStep,
-    rng: &mut R,
-) -> bool {
-    step.predicates.iter().all(|p| {
-        let s = walker.branch_selectivity(node, p);
-        s >= 1.0 || rng.gen::<f64>() < s
-    })
+    fn sample_descend(
+        &mut self,
+        node: XsNodeId,
+        step: &ResolvedStep,
+        label: axqa_xml::LabelId,
+        rest: &[ResolvedStep],
+        depth_left: u32,
+    ) {
+        if depth_left == 0 || self.budget.intermediates_left == 0 {
+            return;
+        }
+        let counts = self.sketch.node(node).histogram.sample(self.rng);
+        let num_edges = self.sketch.node(node).edges.len();
+        for dim in 0..num_edges {
+            let target = self.sketch.node(node).edges[dim].target;
+            let k = counts.get(dim).copied().unwrap_or(0);
+            for _ in 0..k {
+                if self.budget.intermediates_left == 0 {
+                    return;
+                }
+                self.budget.intermediates_left -= 1;
+                if self.sketch.node(target).label == label && self.keep_by_predicates(target, step)
+                {
+                    self.sample_path(target, rest);
+                }
+                self.sample_descend(target, step, label, rest, depth_left.saturating_sub(1));
+            }
+        }
+    }
+
+    /// Bernoulli filter: keep the element with probability equal to the
+    /// estimated selectivity of each branch predicate.
+    fn keep_by_predicates(&mut self, node: XsNodeId, step: &ResolvedStep) -> bool {
+        step.predicates.iter().all(|p| {
+            let s = self.walker.branch_selectivity(node, p);
+            s >= 1.0 || self.rng.gen::<f64>() < s
+        })
+    }
 }
 
 #[cfg(test)]
@@ -238,10 +212,7 @@ mod tests {
 
     #[test]
     fn sampled_answer_has_plausible_shape() {
-        let doc = parse_document(
-            "<r><a><b/><b/></a><a><b/><b/></a><a><b/><b/></a></r>",
-        )
-        .unwrap();
+        let doc = parse_document("<r><a><b/><b/></a><a><b/><b/></a><a><b/><b/></a></r>").unwrap();
         let xs = label_split(&doc, 100);
         let query = parse_twig("q1: q0 /a\nq2: q1 /b").unwrap();
         let mut rng = StdRng::seed_from_u64(42);
@@ -269,13 +240,9 @@ mod tests {
         let mut total_c = 0usize;
         let rounds = 300;
         for _ in 0..rounds {
-            let tree = sample_answer(&xs, &query, &SampleConfig::default(), &mut rng)
-                .expect("b's exist");
-            total_c += tree
-                .nodes()
-                .iter()
-                .filter(|n| n.var == QVar(2))
-                .count();
+            let tree =
+                sample_answer(&xs, &query, &SampleConfig::default(), &mut rng).expect("b's exist");
+            total_c += tree.nodes().iter().filter(|n| n.var == QVar(2)).count();
         }
         let avg = total_c as f64 / rounds as f64;
         // Exact expectation: 4 b's × 2.5 c = 10 per sample.

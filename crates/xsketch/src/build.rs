@@ -69,9 +69,7 @@ pub fn build_xsketch(
     let materialize = |partition: &[u32], n: usize| -> XSketch {
         let structure =
             axqa_synopsis::SizeModel::XSKETCH.bytes(n, estimate_edges(stable, partition), 0);
-        let buckets = config
-            .budget_bytes
-            .saturating_sub(structure)
+        let buckets = config.budget_bytes.saturating_sub(structure)
             / axqa_synopsis::SizeModel::XSKETCH.bucket_bytes;
         XSketch::from_partition(stable, partition, n, buckets.max(n))
     };
@@ -108,10 +106,7 @@ pub fn build_xsketch(
                 continue;
             }
             let err = score(&xs);
-            if round_best
-                .as_ref()
-                .is_none_or(|&(e, _, _, _)| err < e)
-            {
+            if round_best.as_ref().is_none_or(|&(e, _, _, _)| err < e) {
                 round_best = Some((err, new_partition, new_n, xs));
             }
         }
@@ -167,7 +162,7 @@ fn propose_splits(
 ) -> Vec<(u32, Vec<u32>)> {
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_clusters];
     for (s, &c) in partition.iter().enumerate() {
-        members[c as usize].push(s as u32);
+        members[c as usize].push(axqa_xml::dense_id(s));
     }
     // Rank clusters by refinement potential.
     let mut ranked: Vec<(u64, u32)> = members
@@ -175,11 +170,11 @@ fn propose_splits(
         .enumerate()
         .filter(|(_, ms)| ms.len() >= 2)
         .map(|(c, ms)| {
-            let extent: u64 = ms
-                .iter()
-                .map(|&s| stable.node(SynNodeId(s)).extent)
-                .sum();
-            (extent * ms.len() as u64, c as u32)
+            let extent: u64 = ms.iter().map(|&s| stable.node(SynNodeId(s)).extent).sum();
+            (
+                extent.saturating_mul(ms.len() as u64),
+                axqa_xml::dense_id(c),
+            )
         })
         .collect();
     ranked.sort_unstable_by(|a, b| b.cmp(a));
@@ -205,11 +200,7 @@ fn propose_splits(
     out
 }
 
-fn value_split(
-    stable: &StableSummary,
-    partition: &[u32],
-    members: &[u32],
-) -> Option<Vec<u32>> {
+fn value_split(stable: &StableSummary, partition: &[u32], members: &[u32]) -> Option<Vec<u32>> {
     // Per-member total child count into each target cluster; find the
     // direction with the largest weighted variance.
     let mut per_target: FxHashMap<u32, (f64, f64, f64)> = FxHashMap::default(); // (n, Σk, Σk²)
@@ -218,14 +209,15 @@ fn value_split(
         let node = stable.node(SynNodeId(s));
         let mut k: FxHashMap<u32, u64> = FxHashMap::default();
         for &(t, c) in &node.children {
-            *k.entry(partition[t.index()]).or_insert(0) += c as u64;
+            let slot = k.entry(partition[t.index()]).or_insert(0);
+            *slot = slot.saturating_add(u64::from(c));
         }
         let w = node.extent as f64;
         for (&t, &c) in &k {
             let e = per_target.entry(t).or_insert((0.0, 0.0, 0.0));
             e.0 += w;
             e.1 += w * c as f64;
-            e.2 += w * (c * c) as f64;
+            e.2 += w * c as f64 * c as f64;
         }
         ks.push(k);
     }
@@ -234,8 +226,7 @@ fn value_split(
         .map(|&s| stable.node(SynNodeId(s)).extent as f64)
         .sum();
     let (&target, _) = per_target.iter().max_by(|a, b| {
-        let var =
-            |(_, &(_, sum, sum2)): &(&u32, &(f64, f64, f64))| sum2 - sum * sum / total_w;
+        let var = |(_, &(_, sum, sum2)): &(&u32, &(f64, f64, f64))| sum2 - sum * sum / total_w;
         var(a)
             .partial_cmp(&var(b))
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -295,7 +286,7 @@ fn apply_split(
     split_off: &[u32],
 ) -> (Vec<u32>, usize) {
     let mut new_partition = partition.to_vec();
-    let new_id = num_clusters as u32;
+    let new_id = axqa_xml::dense_id(num_clusters);
     for &s in split_off {
         debug_assert_eq!(partition[s as usize], cluster);
         new_partition[s as usize] = new_id;
@@ -327,14 +318,18 @@ mod tests {
 
     fn workload(doc: &axqa_xml::Document) -> Vec<(TwigQuery, f64)> {
         let index = DocIndex::build(doc);
-        ["q1: q0 /a\nq2: q1 /b", "q1: q0 //d/a\nq2: q1 /c", "q1: q0 //a[b]"]
-            .iter()
-            .map(|t| {
-                let q = parse_twig(t).unwrap();
-                let s = selectivity(doc, &index, &q);
-                (q, s)
-            })
-            .collect()
+        [
+            "q1: q0 /a\nq2: q1 /b",
+            "q1: q0 //d/a\nq2: q1 /c",
+            "q1: q0 //a[b]",
+        ]
+        .iter()
+        .map(|t| {
+            let q = parse_twig(t).unwrap();
+            let s = selectivity(doc, &index, &q);
+            (q, s)
+        })
+        .collect()
     }
 
     #[test]

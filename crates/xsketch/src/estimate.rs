@@ -39,11 +39,7 @@ impl Default for XsEvalConfig {
 
 /// Estimates the number of binding tuples of `query`; 0.0 when a
 /// required variable has no bindings.
-pub fn xs_estimate_selectivity(
-    sketch: &XSketch,
-    query: &TwigQuery,
-    config: &XsEvalConfig,
-) -> f64 {
+pub fn xs_estimate_selectivity(sketch: &XSketch, query: &TwigQuery, config: &XsEvalConfig) -> f64 {
     let labels = sketch.labels();
     let resolved: Vec<ResolvedPath> = query
         .vars()
@@ -55,7 +51,7 @@ pub fn xs_estimate_selectivity(
         epsilon: config.epsilon,
         max_depth: config
             .max_descendant_depth
-            .unwrap_or_else(|| sketch.height() + 1),
+            .unwrap_or_else(|| sketch.height().saturating_add(1)),
     };
 
     // Result graph keyed by (node, var), as in EVALQUERY.
@@ -91,7 +87,7 @@ pub fn xs_estimate_selectivity(
                     let vq = match index.get(&key) {
                         Some(&vq) => vq,
                         None => {
-                            let vq = nodes.len() as u32;
+                            let vq = axqa_xml::dense_id(nodes.len());
                             nodes.push(RNode {
                                 xs: v,
                                 var: qc,
@@ -148,6 +144,14 @@ pub(crate) struct XsWalker<'a> {
     pub(crate) max_depth: u32,
 }
 
+/// One descendant-axis step being matched: the step itself, its
+/// resolved target label, and the remaining pattern after it.
+struct DescentStep<'p> {
+    step: &'p ResolvedStep,
+    label: axqa_xml::LabelId,
+    rest: &'p [ResolvedStep],
+}
+
 impl XsWalker<'_> {
     /// Per-endpoint descendant counts of `steps` from `from`.
     pub(crate) fn path_counts(
@@ -181,26 +185,23 @@ impl XsWalker<'_> {
                         continue;
                     }
                     let _ = dim;
-                    let scaled =
-                        acc * edge.avg * self.step_selectivity(edge.target, step);
+                    let scaled = acc * edge.avg * self.step_selectivity(edge.target, step);
                     if scaled > self.epsilon {
                         self.walk(edge.target, rest, scaled, out);
                     }
                 }
             }
             Axis::Descendant => {
-                self.descend(node, step, label, rest, acc, self.max_depth, out);
+                let descent = DescentStep { step, label, rest };
+                self.descend(node, &descent, acc, self.max_depth, out);
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn descend(
         &self,
         node: XsNodeId,
-        step: &ResolvedStep,
-        label: axqa_xml::LabelId,
-        rest: &[ResolvedStep],
+        descent: &DescentStep<'_>,
         acc: f64,
         depth_left: u32,
         out: &mut FxHashMap<XsNodeId, f64>,
@@ -213,13 +214,19 @@ impl XsWalker<'_> {
             if scaled <= self.epsilon {
                 continue;
             }
-            if self.sketch.node(edge.target).label == label {
-                let here = scaled * self.step_selectivity(edge.target, step);
+            if self.sketch.node(edge.target).label == descent.label {
+                let here = scaled * self.step_selectivity(edge.target, descent.step);
                 if here > self.epsilon {
-                    self.walk(edge.target, rest, here, out);
+                    self.walk(edge.target, descent.rest, here, out);
                 }
             }
-            self.descend(edge.target, step, label, rest, scaled, depth_left - 1, out);
+            self.descend(
+                edge.target,
+                descent,
+                scaled,
+                depth_left.saturating_sub(1),
+                out,
+            );
         }
     }
 

@@ -39,10 +39,8 @@ impl EdgeHistogram {
         let keep = max_buckets.max(1).min(sorted.len());
         let head = &sorted[..keep];
         let tail = &sorted[keep..];
-        let buckets: Vec<(Vec<u32>, f64)> = head
-            .iter()
-            .map(|(v, w)| (v.clone(), w / total))
-            .collect();
+        let buckets: Vec<(Vec<u32>, f64)> =
+            head.iter().map(|(v, w)| (v.clone(), w / total)).collect();
         let residual = if tail.is_empty() {
             None
         } else {
@@ -72,11 +70,7 @@ impl EdgeHistogram {
 
     /// Mean child count along edge `dim`.
     pub fn mean(&self, dim: usize) -> f64 {
-        let mut m: f64 = self
-            .buckets
-            .iter()
-            .map(|(v, f)| f * v[dim] as f64)
-            .sum();
+        let mut m: f64 = self.buckets.iter().map(|(v, f)| f * v[dim] as f64).sum();
         if let Some((avg, f)) = &self.residual {
             m += f * avg[dim];
         }
@@ -130,7 +124,10 @@ impl EdgeHistogram {
                 .map(|&a| {
                     let base = a.floor();
                     let frac = a - base;
-                    base as u32 + u32::from(rng.gen::<f64>() < frac)
+                    let rounded = axqa_xml::f64_to_u64(base).min(u64::from(u32::MAX));
+                    #[allow(clippy::cast_possible_truncation)] // clamped above
+                    let rounded = rounded as u32;
+                    rounded.saturating_add(u32::from(rng.gen::<f64>() < frac))
                 })
                 .collect();
         }
@@ -164,19 +161,14 @@ mod tests {
 
     #[test]
     fn tail_collapses_into_residual() {
-        let vectors: Vec<(Vec<u32>, f64)> =
-            (0..10).map(|i| (vec![i], 1.0 + i as f64)).collect();
+        let vectors: Vec<(Vec<u32>, f64)> = (0..10).map(|i| (vec![i], 1.0 + i as f64)).collect();
         let h = EdgeHistogram::build(&vectors, 3);
         assert_eq!(h.buckets.len(), 3);
         assert!(h.residual.is_some());
         assert_eq!(h.num_buckets(), 4);
         // Mean is preserved exactly by the residual average.
         let total: f64 = vectors.iter().map(|&(_, w)| w).sum();
-        let exact_mean: f64 = vectors
-            .iter()
-            .map(|(v, w)| w * v[0] as f64)
-            .sum::<f64>()
-            / total;
+        let exact_mean: f64 = vectors.iter().map(|(v, w)| w * v[0] as f64).sum::<f64>() / total;
         assert!((h.mean(0) - exact_mean).abs() < 1e-12);
     }
 

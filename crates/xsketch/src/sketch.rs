@@ -131,7 +131,7 @@ impl XSketch {
         // Gather per-cluster members.
         let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_clusters];
         for (s, &c) in partition.iter().enumerate() {
-            members[c as usize].push(s as u32);
+            members[c as usize].push(axqa_xml::dense_id(s));
         }
         // Per-cluster target sets and per-member count vectors.
         struct Raw {
@@ -145,7 +145,8 @@ impl XSketch {
         // Elements of each cluster (for B-stability).
         let mut cluster_elems = vec![0u64; num_clusters];
         for (s, &c) in partition.iter().enumerate() {
-            cluster_elems[c as usize] += stable.node(SynNodeId(s as u32)).extent;
+            cluster_elems[c as usize] = cluster_elems[c as usize]
+                .saturating_add(stable.node(SynNodeId(axqa_xml::dense_id(s))).extent);
         }
         // Incoming "child slots" per (parent cluster, child cluster).
         let mut into: FxHashMap<(u32, u32), f64> = FxHashMap::default();
@@ -173,15 +174,16 @@ impl XSketch {
             for &s in ms {
                 let node = stable.node(SynNodeId(s));
                 debug_assert_eq!(node.label, label, "label-respecting partition");
-                count += node.extent;
+                count = count.saturating_add(node.extent);
                 depth = depth.max(node.depth);
                 let mut vector = vec![0u32; target_set.len()];
                 for &(t, k) in &node.children {
-                    vector[index_of[&partition[t.index()]]] += k;
+                    let dim = index_of[&partition[t.index()]];
+                    vector[dim] = vector[dim].saturating_add(k);
                 }
                 for (dim, &t) in target_set.iter().enumerate() {
                     if vector[dim] > 0 {
-                        *into.entry((ci as u32, t)).or_insert(0.0) +=
+                        *into.entry((axqa_xml::dense_id(ci), t)).or_insert(0.0) +=
                             node.extent as f64 * vector[dim] as f64;
                     }
                 }
@@ -220,7 +222,9 @@ impl XSketch {
         }
         heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         while spent < bucket_budget {
-            let Some((_, ci, next)) = heap.pop() else { break };
+            let Some((_, ci, next)) = heap.pop() else {
+                break;
+            };
             allocation[ci] += 1;
             spent += 1;
             let r = &raw[ci];
@@ -244,15 +248,15 @@ impl XSketch {
                 .iter()
                 .enumerate()
                 .map(|(dim, &t)| {
-                    let slots = into.get(&(ci as u32, t)).copied().unwrap_or(0.0);
+                    let slots = into
+                        .get(&(axqa_xml::dense_id(ci), t))
+                        .copied()
+                        .unwrap_or(0.0);
                     XEdge {
                         target: XsNodeId(t),
                         avg: histogram.mean(dim),
                         b_stable: (slots - cluster_elems[t as usize] as f64).abs() < 0.5,
-                        f_stable: r
-                            .vectors
-                            .iter()
-                            .all(|(v, _)| v[dim] >= 1),
+                        f_stable: r.vectors.iter().all(|(v, _)| v[dim] >= 1),
                     }
                 })
                 .collect();
@@ -277,7 +281,7 @@ impl XSketch {
         let mut ids: FxHashMap<u32, u32> = FxHashMap::default();
         let mut partition = Vec::with_capacity(stable.len());
         for node in stable.nodes() {
-            let next = ids.len() as u32;
+            let next = axqa_xml::dense_id(ids.len());
             let id = *ids.entry(node.label.0).or_insert(next);
             partition.push(id);
         }

@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Approximate-answer quality under the ESD metric (§5): why averages
 //! beat histogram sampling for *structure*, and why tree-edit distance
 //! is the wrong yardstick.
@@ -26,12 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     // Part 1 — Figure 10.
     // ------------------------------------------------------------------
-    let truth = parse_document(
-        "<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>",
-    )?;
-    let t1 = parse_document(
-        "<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>",
-    )?;
+    let truth = parse_document("<r><a><c/><c/><c/><c/><d/></a><a><c/><d/><d/><d/><d/></a></r>")?;
+    let t1 = parse_document("<r><a><c/><d/></a><a><c/><c/><c/><c/><d/><d/><d/><d/></a></r>")?;
     let t2 = parse_document(
         "<r><a><c/><c/><c/><c/><c/><c/><d/><d/></a><a><c/><c/><d/><d/><d/><d/><d/><d/></a></r>",
     )?;
@@ -81,8 +86,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .map(|q| (q.clone(), selectivity(&doc, &index, &q)))
     .collect();
 
-    println!("avg ESD of approximate answers, SwissProt-style ({} elements):", doc.len());
-    println!("{:>8}  {:>12}  {:>12}", "budget", "TreeSketch", "TwigXSketch");
+    println!(
+        "avg ESD of approximate answers, SwissProt-style ({} elements):",
+        doc.len()
+    );
+    println!(
+        "{:>8}  {:>12}  {:>12}",
+        "budget", "TreeSketch", "TwigXSketch"
+    );
     for budget_kb in [10usize, 25, 50] {
         let ts = ts_build(&stable, &BuildConfig::with_budget(budget_kb * 1024)).sketch;
         let xs = build_xsketch(

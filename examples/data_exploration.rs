@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! The paper's motivating scenario (§1): interactive exploration of a
 //! large XML repository with approximate previews.
 //!
@@ -45,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let index = DocIndex::build(&doc);
     let session = [
         // What does bidding activity look like?
-        ("open auctions with bidders", "q1: q0 //open_auction[bidder]\nq2: q1 /bidder"),
+        (
+            "open auctions with bidders",
+            "q1: q0 //open_auction[bidder]\nq2: q1 /bidder",
+        ),
         // Do sellers annotate their auctions?
         (
             "annotated closed auctions",

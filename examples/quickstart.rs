@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Quickstart: summarize a document, preview a query approximately,
 //! compare against the exact answer.
 //!
@@ -54,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("query:\n{query}\n");
 
     // 4. Approximate answer (EVALQUERY, §4.3) + selectivity (§4.4).
-    let result = eval_query(&report.sketch, &query, &EvalConfig::default())
-        .expect("query is non-empty");
+    let result =
+        eval_query(&report.sketch, &query, &EvalConfig::default()).expect("query is non-empty");
     println!("approximate result sketch:\n{}", result.dump());
     let estimate = estimate_selectivity(&result, &query);
 

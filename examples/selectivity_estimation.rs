@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Selectivity estimation for query optimization (§4.4): compare
 //! TreeSketch and twig-XSketch estimates against exact counts across a
 //! workload, at several space budgets.
@@ -63,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })
     .collect();
 
-    println!("\n{:>8}  {:>12}  {:>12}", "budget", "TreeSketch", "TwigXSketch");
+    println!(
+        "\n{:>8}  {:>12}  {:>12}",
+        "budget", "TreeSketch", "TwigXSketch"
+    );
     for budget_kb in [2usize, 5, 10, 20] {
         let ts = ts_build(&stable, &BuildConfig::with_budget(budget_kb * 1024)).sketch;
         let xs = build_xsketch(
@@ -96,11 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsample estimates (10KB TreeSketch):");
     let ts = ts_build(&stable, &BuildConfig::with_budget(10 * 1024)).sketch;
     for (query, &truth) in workload.iter().zip(&exact).take(5) {
-        let est = axqa::core::selectivity::estimate_query_selectivity(
-            &ts,
-            query,
-            &EvalConfig::default(),
-        );
+        let est =
+            axqa::core::selectivity::estimate_query_selectivity(&ts, query, &EvalConfig::default());
         let line = query.to_string().replace('\n', " ; ");
         println!("  exact {truth:>10.0}  est {est:>12.1}   {line}");
     }

@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! The value-content extension (the paper's declared future work, §1):
 //! numeric leaf values, `[. op c]` predicates, and per-cluster value
 //! summaries that let a TreeSketch estimate value-selective twigs.
@@ -39,17 +48,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let session = [
-        ("articles after 2000", "q1: q0 //article[year[. > 2000]]\nq2: q1 /author"),
-        ("nineties conference papers", "q1: q0 //inproceedings/year[. >= 1990][. < 2000]"),
+        (
+            "articles after 2000",
+            "q1: q0 //article[year[. > 2000]]\nq2: q1 /author",
+        ),
+        (
+            "nineties conference papers",
+            "q1: q0 //inproceedings/year[. >= 1990][. < 2000]",
+        ),
         ("pre-1980 books", "q1: q0 //book[year[. < 1980]]"),
         ("everything from exactly 1999", "q1: q0 //year[. = 1999]"),
     ];
-    println!("{:<34} {:>12} {:>12} {:>8}", "query", "exact", "estimate", "err%");
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "query", "exact", "estimate", "err%"
+    );
     for (title, twig) in session {
         let query = parse_twig(twig)?;
         let exact = selectivity(&doc, &index, &query);
-        let estimate = eval_query_with_values(&sketch, &query, &EvalConfig::default(), Some(&values))
-            .map_or(0.0, |r| estimate_selectivity(&r, &query));
+        let estimate =
+            eval_query_with_values(&sketch, &query, &EvalConfig::default(), Some(&values))
+                .map_or(0.0, |r| estimate_selectivity(&r, &query));
         let err = (exact - estimate).abs() / exact.max(1.0) * 100.0;
         println!("{title:<34} {exact:>12.0} {estimate:>12.1} {err:>7.1}%");
     }

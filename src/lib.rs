@@ -1,3 +1,15 @@
+// Tests opt back into panicking extractors (workspace lint table,
+// DESIGN.md "Static analysis & invariants").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+
 //! # axqa — Approximate XML Query Answers (TreeSketch)
 //!
 //! A from-scratch Rust reproduction of *"Approximate XML Query Answers"*

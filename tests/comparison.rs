@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! The paper's headline comparison (§6.2), as a deterministic test:
 //! at equal byte budgets, TreeSketches produce approximate answers with
 //! lower ESD and selectivity estimates with lower error than
@@ -39,7 +48,10 @@ fn prepare(dataset: Dataset, elements: usize, budget: usize) -> Setup {
             ..WorkloadConfig::default()
         },
     );
-    let exact: Vec<f64> = workload.iter().map(|q| selectivity(&doc, &index, q)).collect();
+    let exact: Vec<f64> = workload
+        .iter()
+        .map(|q| selectivity(&doc, &index, q))
+        .collect();
     let build_queries: Vec<(TwigQuery, f64)> = positive_workload(
         &stable,
         &WorkloadConfig {
@@ -152,7 +164,11 @@ fn construction_is_cheaper_for_treesketch() {
     let _ = ts_build(&stable, &BuildConfig::with_budget(8 * 1024));
     let ts_time = start.elapsed();
     let start = std::time::Instant::now();
-    let _ = build_xsketch(&stable, &build_queries, &XsBuildConfig::with_budget(8 * 1024));
+    let _ = build_xsketch(
+        &stable,
+        &build_queries,
+        &XsBuildConfig::with_budget(8 * 1024),
+    );
     let xs_time = start.elapsed();
     assert!(
         ts_time < xs_time,

@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! End-to-end pipeline tests on each synthetic dataset: generation →
 //! stable summary → TSBUILD → approximate answering, asserting the
 //! paper's qualitative claims at test-friendly scales.
@@ -6,7 +15,11 @@ use axqa::datagen::workload::{positive_workload, WorkloadConfig};
 use axqa::distance::{esd_answer, esd_empty_answer, EsdConfig};
 use axqa::prelude::*;
 
-fn prepare(dataset: Dataset, elements: usize, queries: usize) -> (Document, StableSummary, DocIndex, Vec<TwigQuery>) {
+fn prepare(
+    dataset: Dataset,
+    elements: usize,
+    queries: usize,
+) -> (Document, StableSummary, DocIndex, Vec<TwigQuery>) {
     let doc = generate(
         dataset,
         &GenConfig {
@@ -33,7 +46,10 @@ fn avg_rel_error(
     workload: &[TwigQuery],
     sketch: &TreeSketch,
 ) -> f64 {
-    let exact: Vec<f64> = workload.iter().map(|q| selectivity(doc, index, q)).collect();
+    let exact: Vec<f64> = workload
+        .iter()
+        .map(|q| selectivity(doc, index, q))
+        .collect();
     let mut sorted = exact.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let sanity = sorted[sorted.len() / 10].max(1.0);
@@ -133,7 +149,11 @@ fn budgets_are_respected_across_the_sweep() {
     let model = SizeModel::TREESKETCH;
     let floor = {
         // Label-split graph size.
-        let labels = stable.nodes().iter().map(|n| n.label).collect::<std::collections::HashSet<_>>();
+        let labels = stable
+            .nodes()
+            .iter()
+            .map(|n| n.label)
+            .collect::<std::collections::HashSet<_>>();
         labels.len()
     };
     for budget_kb in [2usize, 4, 8, 16] {

@@ -1,12 +1,19 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Figure 10 / §5, cross-crate: tree-edit distance treats the
 //! correlation-preserving approximation `T2` and the
 //! correlation-destroying `T1` as equally good; ESD separates them —
 //! including with non-trivial `Sc`/`Sd` subtrees and under both set
 //! distances.
 
-use axqa::distance::{
-    esd_documents, tree_edit_distance, EditCosts, EsdConfig, SetDistance,
-};
+use axqa::distance::{esd_documents, tree_edit_distance, EditCosts, EsdConfig, SetDistance};
 use axqa::prelude::*;
 
 /// Builds the Figure 10 trees with configurable `Sc`/`Sd` subtrees.

@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! §6.1: "our experiments with negative workloads have shown that
 //! TreeSketches consistently produce empty answers as approximations."
 //!

@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Cross-crate checks of every worked example in the paper, driven
 //! through the public `axqa` API.
 
@@ -76,11 +85,8 @@ fn branch_selectivity_fractional_and_saturated() {
     let doc = parse_document(&src).unwrap();
     let ts = ts_build(&build_stable(&doc), &BuildConfig::with_budget(1)).sketch;
     let query = parse_twig("q1: q0 /d[/g]").unwrap();
-    let estimate = axqa::core::selectivity::estimate_query_selectivity(
-        &ts,
-        &query,
-        &EvalConfig::default(),
-    );
+    let estimate =
+        axqa::core::selectivity::estimate_query_selectivity(&ts, &query, &EvalConfig::default());
     assert!((estimate - 6.0).abs() < 1e-9, "estimate = {estimate}");
 
     // (b) saturated (Fig. 8 lines 8–9): aggregated descendant count
@@ -101,11 +107,8 @@ fn branch_selectivity_fractional_and_saturated() {
     let doc = parse_document(&src).unwrap();
     let ts = ts_build(&build_stable(&doc), &BuildConfig::with_budget(1)).sketch;
     let query = parse_twig("q1: q0 /d[//v]").unwrap();
-    let estimate = axqa::core::selectivity::estimate_query_selectivity(
-        &ts,
-        &query,
-        &EvalConfig::default(),
-    );
+    let estimate =
+        axqa::core::selectivity::estimate_query_selectivity(&ts, &query, &EvalConfig::default());
     // True answer is 10 (every d has a v descendant); the saturation
     // rule recovers it exactly.
     assert!((estimate - 10.0).abs() < 1e-9, "estimate = {estimate}");

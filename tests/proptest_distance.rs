@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Property tests for the distance substrate: Zhang–Shasha is checked
 //! against a brute-force forest DP, exact EMD against the greedy
 //! matcher, and the XML parser against arbitrary byte soup.
@@ -100,10 +109,8 @@ fn small_tree() -> impl Strategy<Value = Tree> {
         children: vec![],
     });
     leaf.prop_recursive(3, 9, 3, |inner| {
-        ((0u8..3), prop::collection::vec(inner, 0..3)).prop_map(|(label, children)| Tree {
-            label,
-            children,
-        })
+        ((0u8..3), prop::collection::vec(inner, 0..3))
+            .prop_map(|(label, children)| Tree { label, children })
     })
 }
 

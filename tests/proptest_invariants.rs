@@ -1,3 +1,12 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
 //! Property-based tests of the core invariants (proptest).
 //!
 //! Random node-labeled trees over a small label pool exercise:
@@ -7,8 +16,8 @@
 //! evaluation on count-stable synopses, ESD metric axioms, tree-edit
 //! sanity bounds, and parser round-trips.
 
-use axqa::core::cluster::ClusterState;
 use axqa::core::build::ts_build_state;
+use axqa::core::cluster::ClusterState;
 use axqa::distance::{esd_documents, tree_edit_distance, EditCosts, EsdConfig};
 use axqa::prelude::*;
 use axqa::query::{Axis, Step};
@@ -27,10 +36,8 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
         children: vec![],
     });
     leaf.prop_recursive(4, 80, 5, |inner| {
-        ((0u8..5), prop::collection::vec(inner, 0..5)).prop_map(|(label, children)| Tree {
-            label,
-            children,
-        })
+        ((0u8..5), prop::collection::vec(inner, 0..5))
+            .prop_map(|(label, children)| Tree { label, children })
     })
 }
 

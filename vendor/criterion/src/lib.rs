@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup` (with `sample_size`, `warm_up_time`,
+//! `measurement_time`, `throughput`), `Bencher::iter`, `BenchmarkId`
+//! and `Throughput` — backed by a plain wall-clock timer instead of
+//! criterion's statistical machinery. Each benchmark runs a short
+//! warm-up, then a fixed number of timed iterations, and reports
+//! mean time per iteration (plus derived throughput) on stdout.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let (sample_size, warm_up_time, measurement_time) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group_name = String::new();
+        run_benchmark(
+            &group_name,
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            f,
+        );
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<S: fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full_name = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+
+    // Warm-up: single iterations until the warm-up budget is spent.
+    let warm_up_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_up_start.elapsed() < warm_up_time {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_elapsed += b.elapsed;
+        warm_iters += 1;
+    }
+    let per_iter = if warm_iters > 0 && !warm_elapsed.is_zero() {
+        warm_elapsed / u32::try_from(warm_iters).unwrap_or(u32::MAX)
+    } else {
+        Duration::from_nanos(1)
+    };
+
+    // Spread the measurement budget over `sample_size` samples.
+    let budget_per_sample = measurement_time
+        .checked_div(u32::try_from(sample_size.max(1)).unwrap_or(u32::MAX))
+        .unwrap_or(Duration::from_millis(100));
+    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+    }
+
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 / (mean_ns / 1e9) / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / (mean_ns / 1e9))
+        }
+    });
+    println!(
+        "bench {full_name:<50} {:>12.1} ns/iter{}",
+        mean_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Mirrors criterion's `criterion_group!`: both the plain and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63). Semantics differ from
+//! real crossbeam in one way: a panicking worker propagates at the
+//! end of the scope instead of surfacing as `Err`, so the `Result`
+//! returned here is always `Ok`. The workspace only calls
+//! `.expect(..)`/`?` on the result, which behaves identically on the
+//! success path.
+
+pub mod thread_scope {
+    use std::thread;
+
+    /// Mirror of `crossbeam::thread::Scope`: hands itself to spawned
+    /// closures so workers can spawn further workers.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread_scope::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_workers_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let result = crate::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements the slice of proptest's API that the workspace's
+//! property tests use: the `proptest!` macro, `Strategy` with
+//! `prop_map` / `prop_recursive`, `prop::collection::vec`, `any`,
+//! range and tuple strategies, a string strategy for `&str`
+//! "patterns", and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking: a failing case panics with the generated input's
+//!   `Debug` rendering (inputs are deterministic per test name, so a
+//!   failure reproduces exactly on re-run);
+//! - string strategies ignore the regex language and generate
+//!   adversarial printable text instead;
+//! - `ProptestConfig` only honours `cases`.
+
+use std::cell::RefCell;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mirror of proptest's `Config`, honouring only `cases`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// Deterministic per-test RNG: the seed is a hash of the test
+    /// name, so every run generates the identical case sequence.
+    pub struct TestRng {
+        pub inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(hash),
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    use super::*;
+    use rand::Rng;
+
+    /// Generation-only mirror of proptest's `Strategy`.
+    pub trait Strategy {
+        type Value;
+
+        /// Generate one value. `depth` is the remaining recursion
+        /// budget for strategies built with [`Strategy::prop_recursive`];
+        /// non-recursive strategies pass it through unchanged.
+        fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value;
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map,
+            }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, filter: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                filter,
+            }
+        }
+
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf: Rc<dyn Strategy<Value = Self::Value>> = Rc::new(self);
+            type Slot<T> = Rc<RefCell<Option<Rc<dyn Strategy<Value = T>>>>>;
+            let slot: Slot<Self::Value> = Rc::new(RefCell::new(None));
+            let inner = BoxedStrategy {
+                gen: Rc::new({
+                    let leaf = leaf.clone();
+                    let slot = slot.clone();
+                    move |rng: &mut TestRng, depth_left: u32| {
+                        if depth_left == 0 {
+                            leaf.generate(rng, 0)
+                        } else {
+                            let expanded = slot
+                                .borrow()
+                                .clone()
+                                .expect("recursive strategy used before initialization");
+                            expanded.generate(rng, depth_left - 1)
+                        }
+                    }
+                }),
+            };
+            let expanded: Rc<dyn Strategy<Value = Self::Value>> = Rc::new(recurse(inner));
+            *slot.borrow_mut() = Some(expanded.clone());
+            BoxedStrategy {
+                gen: Rc::new(move |rng, _| expanded.generate(rng, depth)),
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let this = Rc::new(self);
+            BoxedStrategy {
+                gen: Rc::new(move |rng, depth| this.generate(rng, depth)),
+            }
+        }
+    }
+
+    /// Type-erased strategy, cheap to clone.
+    pub struct BoxedStrategy<T> {
+        pub(crate) gen: Rc<dyn Fn(&mut TestRng, u32) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: self.gen.clone(),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+            (self.gen)(rng, depth)
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng, depth: u32) -> O {
+            (self.map)(self.source.generate(rng, depth))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        filter: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng, depth: u32) -> S::Value {
+            // Bounded rejection sampling; give up and accept rather
+            // than loop forever on a too-strict filter.
+            for _ in 0..1000 {
+                let candidate = self.source.generate(rng, depth);
+                if (self.filter)(&candidate) {
+                    return candidate;
+                }
+            }
+            self.source.generate(rng, depth)
+        }
+    }
+
+    /// `Just`: constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng, _depth: u32) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::One + 'static> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng, _depth: u32) -> T {
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + 'static> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng, _depth: u32) -> T {
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    /// String "pattern" strategy. The regex language is NOT
+    /// implemented; any `&str` pattern yields adversarial printable
+    /// text with plenty of XML metacharacters, which is what the
+    /// workspace's parser-fuzzing tests are after.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng, _depth: u32) -> String {
+            const POOL: &[char] = &[
+                '<', '>', '&', '"', '\'', '/', '=', ' ', '\t', '\n', 'a', 'b', 'z', 'A', 'Z',
+                '0', '9', '_', '-', '.', ';', '!', '?', '[', ']', 'é', 'λ', '中', '🦀',
+            ];
+            let len = rng.inner.gen_range(0usize..64);
+            (0..len)
+                .map(|_| {
+                    if rng.inner.gen_bool(0.8) {
+                        POOL[rng.inner.gen_range(0usize..POOL.len())]
+                    } else {
+                        // Arbitrary non-control scalar value.
+                        loop {
+                            let raw = rng.inner.gen_range(0x20u32..0xFFFF);
+                            if let Some(c) = char::from_u32(raw) {
+                                if !c.is_control() {
+                                    break c;
+                                }
+                            }
+                        }
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng, depth),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Mirror of proptest's `Arbitrary` for the primitives the
+    /// workspace generates with `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng, _depth: u32) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.inner.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.inner.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, wide dynamic range.
+            let magnitude: f64 = rng.inner.gen_range(0.0..1e6);
+            if rng.inner.gen_bool(0.5) {
+                magnitude
+            } else {
+                -magnitude
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Mirror of proptest's `SizeRange` (inclusive bounds).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng, depth: u32) -> Vec<S::Value> {
+            let len = rng.inner.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng, depth)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Mirror of proptest's `proptest!` macro: runs each test body over
+/// `config.cases` deterministically generated inputs. No shrinking —
+/// the panic message carries the offending case index, and the
+/// deterministic per-test seed makes every failure reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $(#[test] fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut rng,
+                            0,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// `prop_assert!` without shrinking: plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        struct Node {
+            children: Vec<Node>,
+        }
+        fn size(n: &Node) -> usize {
+            1 + n.children.iter().map(size).sum::<usize>()
+        }
+        let leaf = (0u8..3).prop_map(|_| Node { children: vec![] });
+        let strat = leaf.prop_recursive(3, 9, 3, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(|children| Node { children })
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic("recursive");
+        for _ in 0..200 {
+            let tree = Strategy::generate(&strat, &mut rng, 0);
+            // Depth 3 with branching <= 2 bounds the size at
+            // 1+2+4+8 = 15 internal slots... keep a loose bound.
+            assert!(size(&tree) <= 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns(x in 0u8..5, (a, b) in (0u8..3, any::<bool>())) {
+            prop_assert!(x < 5);
+            prop_assert!(a < 3);
+            prop_assert_eq!(b, b);
+        }
+    }
+}
