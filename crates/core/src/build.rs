@@ -21,8 +21,15 @@
 //!   This keeps pool generation near-linear on documents whose stable
 //!   summaries have thousands of same-label classes (the paper's own
 //!   `Uh` bound plays the same cost-control role).
+//! * Candidate scoring is sharded across [`BuildConfig::threads`] scoped
+//!   worker threads. Each worker scores its share of the level's label
+//!   groups into a local bounded worst-first heap; the local heaps are
+//!   merged under the candidates' *total* order (ratio via
+//!   `f64::total_cmp`, ties broken on the pair ids), so the surviving
+//!   top-`Uh` set — and therefore the whole build — is bit-identical to
+//!   the serial run. See DESIGN.md §4.6 for the determinism argument.
 
-use crate::cluster::ClusterState;
+use crate::cluster::{ClusterState, PartitionSnapshot};
 use crate::sketch::TreeSketch;
 use axqa_synopsis::{SizeModel, StableSummary};
 use axqa_xml::fxhash::FxHashMap;
@@ -45,6 +52,10 @@ pub struct BuildConfig {
     pub group_all_pairs_cap: usize,
     /// Window width for large groups.
     pub window: usize,
+    /// Worker threads for `CREATEPOOL` candidate scoring and sweep
+    /// snapshot finalization: `0` = available parallelism, `1` = the
+    /// serial code path. Any value produces bit-identical output.
+    pub threads: usize,
 }
 
 impl BuildConfig {
@@ -57,6 +68,18 @@ impl BuildConfig {
             size_model: SizeModel::TREESKETCH,
             group_all_pairs_cap: 48,
             window: 4,
+            threads: 0,
+        }
+    }
+
+    /// Resolved worker count for the §4.2 `CREATEPOOL` scoring shards:
+    /// `threads` if positive, otherwise the machine's available
+    /// parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
 }
@@ -91,9 +114,23 @@ struct Candidate {
     version_b: u64,
 }
 
+impl Candidate {
+    /// Total order all heaps rank by: ratio via `f64::total_cmp` (a NaN
+    /// ratio from a degenerate 0/0 merge delta sorts *last*, never
+    /// scrambling the heap), ties broken on the pair ids so the order —
+    /// and with it the parallel/serial merge of bounded pools — is
+    /// deterministic.
+    fn order_key(&self, other: &Self) -> Ordering {
+        self.ratio
+            .total_cmp(&other.ratio)
+            .then_with(|| self.a.cmp(&other.a))
+            .then_with(|| self.b.cmp(&other.b))
+    }
+}
+
 impl PartialEq for Candidate {
     fn eq(&self, other: &Self) -> bool {
-        self.ratio == other.ratio
+        self.order_key(other) == Ordering::Equal
     }
 }
 impl Eq for Candidate {}
@@ -105,10 +142,7 @@ impl PartialOrd for Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the min ratio on top.
-        other
-            .ratio
-            .partial_cmp(&self.ratio)
-            .unwrap_or(Ordering::Equal)
+        other.order_key(self)
     }
 }
 
@@ -153,10 +187,20 @@ pub fn try_ts_build(
 /// TSBUILD (Fig. 5) over a caller-provided state (lets tests inspect
 /// the state).
 pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> BuildReport {
+    ts_build_to_budget(state, config, config.budget_bytes)
+}
+
+/// TSBUILD (Fig. 5) with the byte budget threaded explicitly, so budget
+/// sweeps reuse one `config` instead of cloning it per step.
+fn ts_build_to_budget(
+    state: &mut ClusterState<'_>,
+    config: &BuildConfig,
+    budget_bytes: usize,
+) -> BuildReport {
     let mut merges = 0usize;
     let mut pool_rebuilds = 0usize;
 
-    while state.size_bytes() > config.budget_bytes {
+    while state.size_bytes() > budget_bytes {
         let pool = create_pool(state, config);
         pool_rebuilds += 1;
         if pool.is_empty() {
@@ -170,7 +214,7 @@ pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> Bui
         };
         let mut heap: BinaryHeap<Candidate> = pool.into();
         let merges_before = merges;
-        while state.size_bytes() > config.budget_bytes && heap.len() > lower {
+        while state.size_bytes() > budget_bytes && heap.len() > lower {
             let Some(cand) = heap.pop() else { break };
             let a = state.resolve(cand.a);
             let b = state.resolve(cand.b);
@@ -208,7 +252,7 @@ pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> Bui
         sketch,
         merges,
         pool_rebuilds,
-        reached_budget: final_bytes <= config.budget_bytes,
+        reached_budget: final_bytes <= budget_bytes,
         final_bytes,
         squared_error: state.squared_error(),
         stable_assignment,
@@ -230,89 +274,113 @@ pub fn ts_build_sweep(
     let mut order: Vec<usize> = (0..budgets.len()).collect();
     order.sort_unstable_by(|&a, &b| budgets[b].cmp(&budgets[a])); // descending
     let mut state = ClusterState::new(stable, config.size_model);
-    let mut out: Vec<Option<TreeSketch>> = vec![None; budgets.len()];
+    let mut snaps: Vec<Option<PartitionSnapshot>> = (0..budgets.len()).map(|_| None).collect();
     for index in order {
-        let mut step = config.clone();
-        step.budget_bytes = budgets[index];
-        let _ = ts_build_state(&mut state, &step);
-        out[index] = Some(state.to_sketch());
+        let _ = ts_build_to_budget(&mut state, config, budgets[index]);
+        // Snapshots are cheap copies of the live partition; the costly
+        // finalization (renumbering, centroids, edge sorting) is fanned
+        // out below once the sequential merging is done.
+        snaps[index] = Some(state.snapshot());
+    }
+    let snaps: Vec<PartitionSnapshot> = snaps.into_iter().flatten().collect();
+    finalize_snapshots(&snaps, config)
+}
+
+/// Turns sweep snapshots into sketches, in input order, sharding the
+/// per-budget finalization work across the Fig. 5 worker pool.
+fn finalize_snapshots(snaps: &[PartitionSnapshot], config: &BuildConfig) -> Vec<TreeSketch> {
+    let threads = config.effective_threads().max(1).min(snaps.len());
+    if threads <= 1 || snaps.len() <= 1 {
+        return snaps.iter().map(PartitionSnapshot::finalize).collect();
+    }
+    let scope_result = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    snaps
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, snap)| (i, snap.finalize()))
+                        .collect::<Vec<(usize, TreeSketch)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(chunk) => chunk,
+                Err(_) => panic!("sweep finalization worker panicked"),
+            })
+            .collect::<Vec<_>>()
+    });
+    let chunks = match scope_result {
+        Ok(chunks) => chunks,
+        Err(_) => panic!("sweep finalization scope failed"),
+    };
+    let mut out: Vec<Option<TreeSketch>> = (0..snaps.len()).map(|_| None).collect();
+    for chunk in chunks {
+        for (index, sketch) in chunk {
+            out[index] = Some(sketch);
+        }
     }
     out.into_iter().flatten().collect()
 }
 
+/// Minimum clusters at a level before scoring shards across workers;
+/// below this, thread-spawn overhead dominates the evaluate_merge work.
+const PARALLEL_LEVEL_MIN: usize = 32;
+
 /// `CREATEPOOL` (Fig. 6): bottom-up (by node depth) generation of at most
 /// `Uh` candidate merges, keeping the best ratios seen.
+///
+/// Each level's label groups are sharded round-robin across
+/// [`BuildConfig::threads`] scoped workers; every worker scores its
+/// groups into a local bounded worst-first heap and the local heaps are
+/// merged under the candidates' total order. Because keeping the `Uh`
+/// smallest elements of a set under a total order is independent of
+/// visit order, the merged pool is identical to the serial one, and the
+/// level-by-level early exit (the paper's loop guard) is preserved by
+/// the per-level barrier.
 fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate> {
-    // Group live clusters by label.
+    // Group live clusters by label; count clusters per depth so levels
+    // with no work are skipped and small levels stay serial.
     let mut by_label: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
     let mut max_depth = 0u32;
+    let mut level_counts: Vec<usize> = Vec::new();
     for id in state.alive_ids() {
         let cluster = state.cluster(id);
         by_label.entry(cluster.label.0).or_default().push(id);
         max_depth = max_depth.max(cluster.depth);
+        let depth = usize::try_from(cluster.depth).unwrap_or(usize::MAX);
+        if level_counts.len() <= depth {
+            level_counts.resize(depth + 1, 0);
+        }
+        level_counts[depth] += 1;
     }
+    let groups: Vec<Vec<u32>> = by_label.into_values().collect();
+    let threads = config.effective_threads().max(1);
 
     // Worst-ratio-on-top heap keeping the best `Uh` candidates.
     let mut best: BinaryHeap<WorstFirst> = BinaryHeap::new();
-    let push = |state: &ClusterState<'_>, best: &mut BinaryHeap<WorstFirst>, a: u32, b: u32| {
-        let delta = state.evaluate_merge(a, b);
-        let cand = Candidate {
-            ratio: delta.ratio(),
-            a,
-            b,
-            version_a: state.version_of(a),
-            version_b: state.version_of(b),
-        };
-        if best.len() < config.heap_upper {
-            best.push(WorstFirst(cand));
-        } else if let Some(top) = best.peek() {
-            if cand.ratio < top.0.ratio {
-                best.pop();
-                best.push(WorstFirst(cand));
-            }
-        }
-    };
-
     for level in 0..=max_depth {
-        for group in by_label.values() {
-            // Pairs with max(depth) == level: one side at `level`, the
-            // other at ≤ `level`.
-            let at: Vec<u32> = group
-                .iter()
-                .copied()
-                .filter(|&id| state.cluster(id).depth == level)
-                .collect();
-            if at.is_empty() {
-                continue;
+        let at_level = usize::try_from(level)
+            .ok()
+            .and_then(|l| level_counts.get(l).copied())
+            .unwrap_or(0);
+        if at_level == 0 {
+            continue; // no cluster has max(depth) == level here
+        }
+        if threads > 1 && groups.len() > 1 && at_level >= PARALLEL_LEVEL_MIN {
+            for local in score_level_parallel(state, config, level, &groups, threads) {
+                for worst in local {
+                    bounded_push(&mut best, config.heap_upper, worst.0);
+                }
             }
-            let below: Vec<u32> = group
-                .iter()
-                .copied()
-                .filter(|&id| state.cluster(id).depth < level)
-                .collect();
-            if at.len() + below.len() <= config.group_all_pairs_cap {
-                for (i, &a) in at.iter().enumerate() {
-                    for &b in &at[i + 1..] {
-                        push(state, &mut best, a, b);
-                    }
-                    for &b in &below {
-                        push(state, &mut best, a, b);
-                    }
-                }
-            } else {
-                // Large group: sort by a cheap structural key, pair
-                // within a sliding window.
-                let mut sorted: Vec<u32> = at.iter().chain(below.iter()).copied().collect();
-                sorted.sort_unstable_by_key(|&id| structural_key(state, id));
-                for (i, &a) in sorted.iter().enumerate() {
-                    for &b in sorted[i + 1..].iter().take(config.window) {
-                        // Skip pairs entirely below the level (they were
-                        // proposed at their own level).
-                        if state.cluster(a).depth.max(state.cluster(b).depth) == level {
-                            push(state, &mut best, a, b);
-                        }
-                    }
-                }
+        } else {
+            for group in &groups {
+                score_group(state, config, level, group, &mut best);
             }
         }
         if best.len() >= config.heap_upper {
@@ -320,6 +388,130 @@ fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate>
         }
     }
     best.into_iter().map(|w| w.0).collect()
+}
+
+/// One level of Fig. 6 scoring, sharded: worker `t` of `threads` scores
+/// groups `t, t+threads, …` into a local bounded heap.
+fn score_level_parallel(
+    state: &ClusterState<'_>,
+    config: &BuildConfig,
+    level: u32,
+    groups: &[Vec<u32>],
+    threads: usize,
+) -> Vec<BinaryHeap<WorstFirst>> {
+    let scope_result = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut local: BinaryHeap<WorstFirst> = BinaryHeap::new();
+                    for group in groups.iter().skip(t).step_by(threads) {
+                        score_group(state, config, level, group, &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(local) => local,
+                Err(_) => panic!("CREATEPOOL scoring worker panicked"),
+            })
+            .collect::<Vec<_>>()
+    });
+    match scope_result {
+        Ok(locals) => locals,
+        Err(_) => panic!("CREATEPOOL scoring scope failed"),
+    }
+}
+
+/// Scores one label group at one level (Fig. 6 inner loop) into `best`:
+/// all pairs while the group is small, sliding-window neighbor pairs
+/// over the structural-key order otherwise.
+fn score_group(
+    state: &ClusterState<'_>,
+    config: &BuildConfig,
+    level: u32,
+    group: &[u32],
+    best: &mut BinaryHeap<WorstFirst>,
+) {
+    // Pairs with max(depth) == level: one side at `level`, the other at
+    // ≤ `level`.
+    let at: Vec<u32> = group
+        .iter()
+        .copied()
+        .filter(|&id| state.cluster(id).depth == level)
+        .collect();
+    if at.is_empty() {
+        return;
+    }
+    let below: Vec<u32> = group
+        .iter()
+        .copied()
+        .filter(|&id| state.cluster(id).depth < level)
+        .collect();
+    if at.len() + below.len() <= config.group_all_pairs_cap {
+        for (i, &a) in at.iter().enumerate() {
+            for &b in &at[i + 1..] {
+                score_pair(state, config, best, a, b);
+            }
+            for &b in &below {
+                score_pair(state, config, best, a, b);
+            }
+        }
+    } else {
+        // Large group: sort by a cheap structural key, pair within a
+        // sliding window. The cached sort computes each 4-word key once
+        // per cluster instead of O(n log n) times.
+        let mut sorted: Vec<u32> = at.iter().chain(below.iter()).copied().collect();
+        sorted.sort_by_cached_key(|&id| structural_key(state, id));
+        for (i, &a) in sorted.iter().enumerate() {
+            for &b in sorted[i + 1..].iter().take(config.window) {
+                // Skip pairs entirely below the level (they were
+                // proposed at their own level).
+                if state.cluster(a).depth.max(state.cluster(b).depth) == level {
+                    score_pair(state, config, best, a, b);
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates one candidate pair and offers it to a bounded heap.
+fn score_pair(
+    state: &ClusterState<'_>,
+    config: &BuildConfig,
+    best: &mut BinaryHeap<WorstFirst>,
+    a: u32,
+    b: u32,
+) {
+    let delta = state.evaluate_merge(a, b);
+    let cand = Candidate {
+        ratio: delta.ratio(),
+        a,
+        b,
+        version_a: state.version_of(a),
+        version_b: state.version_of(b),
+    };
+    bounded_push(best, config.heap_upper, cand);
+}
+
+/// Keeps the `cap` smallest candidates under the total order. Eviction
+/// compares the full `(ratio, a, b)` key, so the retained set is a pure
+/// function of the offered *set* — the property the parallel shard
+/// merge relies on.
+fn bounded_push(best: &mut BinaryHeap<WorstFirst>, cap: usize, cand: Candidate) {
+    if cap == 0 {
+        return;
+    }
+    if best.len() < cap {
+        best.push(WorstFirst(cand));
+    } else if let Some(top) = best.peek() {
+        if cand.order_key(&top.0) == Ordering::Less {
+            best.pop();
+            best.push(WorstFirst(cand));
+        }
+    }
 }
 
 /// Cheap sort key grouping structurally similar clusters: first targets
@@ -336,7 +528,8 @@ fn structural_key(state: &ClusterState<'_>, id: u32) -> [u64; 4] {
     key
 }
 
-/// Max-heap wrapper: worst (largest) ratio on top, for the bounded pool.
+/// Max-heap wrapper: worst (largest) candidate under the total order on
+/// top, for the bounded pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct WorstFirst(Candidate);
 impl Eq for WorstFirst {}
@@ -347,10 +540,7 @@ impl PartialOrd for WorstFirst {
 }
 impl Ord for WorstFirst {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .ratio
-            .partial_cmp(&other.0.ratio)
-            .unwrap_or(Ordering::Equal)
+        self.0.order_key(&other.0)
     }
 }
 
@@ -441,6 +631,128 @@ mod tests {
     }
 
     #[test]
+    fn nan_ratio_candidates_sort_last_and_deterministically() {
+        // A degenerate 0/0 merge delta yields ratio = NaN. Under the old
+        // partial_cmp(..).unwrap_or(Equal) ordering a NaN silently
+        // scrambled the heap; total_cmp sorts it *after* every finite
+        // ratio, so it is popped last and evicted first.
+        let mk = |ratio: f64, a: u32, b: u32| Candidate {
+            ratio,
+            a,
+            b,
+            version_a: 0,
+            version_b: 0,
+        };
+        let nan = f64::NAN;
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        heap.push(mk(nan, 7, 8));
+        heap.push(mk(1.0, 3, 4));
+        heap.push(mk(-2.0, 1, 2));
+        heap.push(mk(1.0, 2, 9)); // ratio tie: id tie-break decides
+        let popped: Vec<(u32, u32)> =
+            std::iter::from_fn(|| heap.pop().map(|c| (c.a, c.b))).collect();
+        // Min ratio first; among the two 1.0 ratios the smaller (a, b)
+        // pair comes first; the NaN candidate is last.
+        assert_eq!(popped, vec![(1, 2), (2, 9), (3, 4), (7, 8)]);
+
+        // Bounded pools evict the NaN before any finite candidate.
+        let mut best: BinaryHeap<WorstFirst> = BinaryHeap::new();
+        bounded_push(&mut best, 2, mk(nan, 7, 8));
+        bounded_push(&mut best, 2, mk(5.0, 3, 4));
+        bounded_push(&mut best, 2, mk(1.0, 1, 2));
+        let kept: Vec<(u32, u32)> = best.into_iter().map(|w| (w.0.a, w.0.b)).collect();
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&(3, 4)) && kept.contains(&(1, 2)), "{kept:?}");
+    }
+
+    /// A document whose stable summary has enough same-label classes to
+    /// overflow `group_all_pairs_cap` and exercise every scoring path.
+    fn many_class_doc() -> axqa_xml::Document {
+        let mut src = String::from("<r>");
+        for k in 1..=40 {
+            src.push_str("<p>");
+            src.push_str(&"<k/>".repeat(k));
+            src.push_str(&"<m/>".repeat(k % 5 + 1));
+            src.push_str("</p>");
+        }
+        for k in 1..=20 {
+            src.push_str("<q><p>");
+            src.push_str(&"<k/>".repeat(k * 2));
+            src.push_str("</p></q>");
+        }
+        src.push_str("</r>");
+        parse_document(&src).unwrap()
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let doc = many_class_doc();
+        let stable = build_stable(&doc);
+        let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        for budget in [exact / 2, exact / 4, 1] {
+            let mut serial = BuildConfig::with_budget(budget);
+            serial.threads = 1;
+            let mut parallel = serial.clone();
+            parallel.threads = 4;
+            let s = ts_build(&stable, &serial);
+            let p = ts_build(&stable, &parallel);
+            assert_eq!(s.merges, p.merges, "budget {budget}");
+            assert_eq!(s.pool_rebuilds, p.pool_rebuilds, "budget {budget}");
+            assert_eq!(s.final_bytes, p.final_bytes, "budget {budget}");
+            assert!(
+                s.squared_error == p.squared_error, // bitwise: same merge sequence
+                "budget {budget}: {} vs {}",
+                s.squared_error,
+                p.squared_error
+            );
+            assert_eq!(s.stable_assignment, p.stable_assignment, "budget {budget}");
+            assert_eq!(s.sketch.len(), p.sketch.len());
+            for (sn, pn) in s.sketch.nodes().iter().zip(p.sketch.nodes()) {
+                assert_eq!(sn, pn, "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_windowed_groups() {
+        // Force the sliding-window path AND make levels large enough to
+        // trigger the parallel shard (PARALLEL_LEVEL_MIN).
+        let doc = many_class_doc();
+        let stable = build_stable(&doc);
+        let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let mut serial = BuildConfig::with_budget(exact / 3);
+        serial.group_all_pairs_cap = 4;
+        serial.window = 2;
+        serial.threads = 1;
+        let mut parallel = serial.clone();
+        parallel.threads = 4;
+        let s = ts_build(&stable, &serial);
+        let p = ts_build(&stable, &parallel);
+        assert!(s.merges >= 1, "windowed path produced no merges");
+        assert_eq!(s.merges, p.merges);
+        assert_eq!(s.final_bytes, p.final_bytes);
+        assert!(s.squared_error == p.squared_error);
+        assert_eq!(s.stable_assignment, p.stable_assignment);
+    }
+
+    #[test]
+    fn large_group_window_path_reaches_budget() {
+        // > group_all_pairs_cap same-label classes: CREATEPOOL must fall
+        // back to the sliding window and still drive the build down.
+        let doc = many_class_doc();
+        let stable = build_stable(&doc);
+        let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let mut config = BuildConfig::with_budget(exact / 2);
+        config.group_all_pairs_cap = 8; // 40+ p-classes blow past this
+        config.window = 3;
+        let report = ts_build(&stable, &config);
+        assert!(report.reached_budget, "window path failed to compress");
+        assert!(report.merges >= 1);
+        assert!(report.final_bytes <= exact / 2);
+        assert_eq!(report.sketch.total_elements(), doc.len() as u64);
+    }
+
+    #[test]
     fn state_invariants_hold_through_building() {
         let doc = parse_document(
             "<r><a><b/><b/><c/></a><a><b/><c/><c/></a><a><b/><b/><b/></a>\
@@ -472,6 +784,37 @@ mod sweep_tests {
         let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
         let budgets = [exact / 2, exact * 3 / 4, exact / 4];
         let sweep = ts_build_sweep(&stable, &budgets, &BuildConfig::with_budget(0));
+        for (&budget, swept) in budgets.iter().zip(&sweep) {
+            let independent = ts_build(&stable, &BuildConfig::with_budget(budget)).sketch;
+            assert_eq!(swept.len(), independent.len(), "budget {budget}");
+            assert_eq!(swept.num_edges(), independent.num_edges());
+            assert!(
+                (swept.squared_error() - independent.squared_error()).abs()
+                    < 1e-6 * independent.squared_error().max(1.0),
+                "budget {budget}: sweep err {} vs independent {}",
+                swept.squared_error(),
+                independent.squared_error()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_equals_independent_builds_at_two_budgets() {
+        // Exercises the no-clone budget threading and the parallel
+        // snapshot finalization: the swept sketches must be structurally
+        // identical to independent ts_build runs at the same budgets.
+        let doc = parse_document(
+            "<r><a><b/><b/><b/></a><a><b/></a><a><b/><b/></a>\
+             <c><a><b/><b/><b/><b/></a></c><c><a/></c></r>",
+        )
+        .unwrap();
+        let stable = build_stable(&doc);
+        let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
+        let budgets = [exact * 2 / 3, exact / 3];
+        let mut config = BuildConfig::with_budget(0);
+        config.threads = 4;
+        let sweep = ts_build_sweep(&stable, &budgets, &config);
+        assert_eq!(sweep.len(), 2);
         for (&budget, swept) in budgets.iter().zip(&sweep) {
             let independent = ts_build(&stable, &BuildConfig::with_budget(budget)).sketch;
             assert_eq!(swept.len(), independent.len(), "budget {budget}");

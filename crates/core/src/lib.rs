@@ -56,7 +56,7 @@ pub mod topdown;
 pub mod values;
 
 pub use build::{try_ts_build, ts_build, BuildConfig, BuildReport};
-pub use cluster::ClusterState;
+pub use cluster::{ClusterState, PartitionSnapshot};
 pub use error::AxqaError;
 pub use eval::{eval_query, eval_query_with_values, EvalConfig, ResultSketch};
 pub use expand::{expand_result, Expansion};

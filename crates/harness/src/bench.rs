@@ -1,0 +1,366 @@
+//! `bench baseline` — wall-clock baseline for the three hot paths:
+//! stable-summary construction, TSBUILD compression at the paper's
+//! budgets (serial vs parallel candidate scoring), and EVALQUERY over
+//! the workload. Writes a `BENCH_core.json` snapshot (medians over N
+//! runs plus machine info) so perf regressions are visible in review
+//! diffs without a CI-enforced threshold.
+
+use axqa_core::{estimate_selectivity, eval_query, ts_build, BuildConfig, EvalConfig};
+use axqa_datagen::workload::{positive_workload, WorkloadConfig};
+use axqa_datagen::{generate, Dataset, GenConfig};
+use axqa_query::TwigQuery;
+use axqa_synopsis::size::kb;
+use axqa_synopsis::{build_stable, StableSummary};
+use std::time::Instant;
+
+/// Knobs for the baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Dataset generator to benchmark on.
+    pub dataset: Dataset,
+    /// Target element count of the generated document.
+    pub elements: usize,
+    /// Workload size for the EVALQUERY timing.
+    pub queries: usize,
+    /// Timed repetitions per measurement (median is reported).
+    pub runs: usize,
+    /// TSBUILD budgets in KB (the paper sweeps 10–50).
+    pub budgets_kb: Vec<usize>,
+    /// Worker threads for the parallel TSBUILD variant (0 = all cores).
+    pub threads: usize,
+    /// RNG seed for the document and workload.
+    pub seed: u64,
+    /// Output path of the JSON snapshot.
+    pub out: std::path::PathBuf,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            dataset: Dataset::XMark,
+            elements: 60_000,
+            queries: 200,
+            runs: 3,
+            budgets_kb: vec![10, 20, 30, 40, 50],
+            threads: 0,
+            seed: 0x5EED,
+            out: std::path::PathBuf::from("BENCH_core.json"),
+        }
+    }
+}
+
+/// Parses a dataset name as accepted on the command line.
+pub fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "xmark" => Some(Dataset::XMark),
+        "imdb" => Some(Dataset::Imdb),
+        "sprot" | "swissprot" => Some(Dataset::SProt),
+        "dblp" => Some(Dataset::Dblp),
+        _ => None,
+    }
+}
+
+/// One TSBUILD budget's timings.
+#[derive(Debug, Clone)]
+pub struct TsBuildRow {
+    /// Budget in KB.
+    pub budget_kb: usize,
+    /// Median wall time with `threads = 1` (today's serial path).
+    pub serial_ms: f64,
+    /// Median wall time with the configured thread count.
+    pub parallel_ms: f64,
+    /// Thread count the parallel variant actually used.
+    pub threads: usize,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The full baseline snapshot (see [`BaselineReport::to_json`]).
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// The configuration that produced it.
+    pub config: BaselineConfig,
+    /// Median stable-summary construction time.
+    pub stable_build_ms: f64,
+    /// Per-budget TSBUILD timings.
+    pub ts_build: Vec<TsBuildRow>,
+    /// Number of workload queries evaluated.
+    pub eval_queries: usize,
+    /// Median total EVALQUERY wall time over the workload.
+    pub eval_total_ms: f64,
+    /// Derived per-query cost in microseconds.
+    pub eval_per_query_us: f64,
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64() * 1_000.0, value)
+}
+
+/// Runs one measurement `runs` times and reports the median.
+fn measure(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1)).map(|_| f()).collect();
+    median_ms(&mut samples)
+}
+
+/// Runs the full baseline: document generation (untimed), stable build,
+/// TSBUILD serial vs parallel at every budget, and EVALQUERY over the
+/// workload against the first-budget sketch.
+pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
+    let doc = generate(
+        config.dataset,
+        &GenConfig {
+            target_elements: config.elements,
+            seed: config.seed,
+        },
+    );
+    let stable_build_ms = measure(config.runs, || time_ms(|| build_stable(&doc)).0);
+    let stable = build_stable(&doc);
+    let workload = positive_workload(
+        &stable,
+        &WorkloadConfig {
+            count: config.queries,
+            seed: config.seed ^ 0xA11CE,
+            ..WorkloadConfig::default()
+        },
+    );
+
+    let mut ts_rows = Vec::new();
+    for &budget_kb in &config.budgets_kb {
+        ts_rows.push(bench_ts_build(config, &stable, budget_kb));
+    }
+
+    let (eval_total_ms, eval_per_query_us) = bench_eval_query(config, &stable, &workload);
+    BaselineReport {
+        config: config.clone(),
+        stable_build_ms,
+        ts_build: ts_rows,
+        eval_queries: workload.len(),
+        eval_total_ms,
+        eval_per_query_us,
+    }
+}
+
+fn bench_ts_build(config: &BaselineConfig, stable: &StableSummary, budget_kb: usize) -> TsBuildRow {
+    let mut serial_config = BuildConfig::with_budget(kb(budget_kb));
+    serial_config.threads = 1;
+    let mut parallel_config = BuildConfig::with_budget(kb(budget_kb));
+    parallel_config.threads = config.threads;
+    let threads = parallel_config.effective_threads();
+    let serial_ms = measure(config.runs, || {
+        time_ms(|| ts_build(stable, &serial_config)).0
+    });
+    let parallel_ms = measure(config.runs, || {
+        time_ms(|| ts_build(stable, &parallel_config)).0
+    });
+    TsBuildRow {
+        budget_kb,
+        serial_ms,
+        parallel_ms,
+        threads,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    }
+}
+
+fn bench_eval_query(
+    config: &BaselineConfig,
+    stable: &StableSummary,
+    workload: &[TwigQuery],
+) -> (f64, f64) {
+    let first_budget = config.budgets_kb.first().copied().unwrap_or(10);
+    let ts = ts_build(stable, &BuildConfig::with_budget(kb(first_budget))).sketch;
+    let eval_config = EvalConfig::default();
+    let total_ms = measure(config.runs, || {
+        time_ms(|| {
+            let mut acc = 0.0f64;
+            for query in workload {
+                if let Some(result) = eval_query(&ts, query, &eval_config) {
+                    acc += estimate_selectivity(&result, query);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+        .0
+    });
+    let per_query_us = if workload.is_empty() {
+        0.0
+    } else {
+        total_ms * 1_000.0 / workload.len() as f64
+    };
+    (total_ms, per_query_us)
+}
+
+fn json_f(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BaselineReport {
+    /// Serializes the snapshot as the `axqa-bench-baseline/1` JSON
+    /// document (hand-rolled — the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let budgets: Vec<String> = self
+            .config
+            .budgets_kb
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let ts_rows: Vec<String> = self
+            .ts_build
+            .iter()
+            .map(|row| {
+                format!(
+                    concat!(
+                        "    {{\"budget_kb\": {}, \"serial_ms\": {}, ",
+                        "\"parallel_ms\": {}, \"threads\": {}, \"speedup\": {}}}"
+                    ),
+                    row.budget_kb,
+                    json_f(row.serial_ms),
+                    json_f(row.parallel_ms),
+                    row.threads,
+                    json_f(row.speedup),
+                )
+            })
+            .collect();
+        format!(
+            r#"{{
+  "schema": "axqa-bench-baseline/1",
+  "machine": {{"os": "{os}", "arch": "{arch}", "cpus": {cpus}}},
+  "config": {{
+    "dataset": "{dataset}",
+    "elements": {elements},
+    "queries": {queries},
+    "runs": {runs},
+    "budgets_kb": [{budgets}],
+    "threads": {threads},
+    "seed": {seed}
+  }},
+  "stable_build_ms": {stable},
+  "ts_build": [
+{ts_rows}
+  ],
+  "eval_query": {{"queries": {eq}, "total_ms": {et}, "per_query_us": {epq}}}
+}}
+"#,
+            os = std::env::consts::OS,
+            arch = std::env::consts::ARCH,
+            cpus = cpus,
+            dataset = self.config.dataset.name(),
+            elements = self.config.elements,
+            queries = self.config.queries,
+            runs = self.config.runs,
+            budgets = budgets.join(", "),
+            threads = self.config.threads,
+            seed = self.config.seed,
+            stable = json_f(self.stable_build_ms),
+            ts_rows = ts_rows.join(",\n"),
+            eq = self.eval_queries,
+            et = json_f(self.eval_total_ms),
+            epq = json_f(self.eval_per_query_us),
+        )
+    }
+
+    /// Writes the JSON snapshot to `config.out`.
+    pub fn write(&self) -> std::io::Result<()> {
+        std::fs::write(&self.config.out, self.to_json())
+    }
+
+    /// Human-readable summary for stdout.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench baseline — {} (~{} elements, {} runs)\n  stable build: {} ms\n",
+            self.config.dataset.name(),
+            self.config.elements,
+            self.config.runs,
+            json_f(self.stable_build_ms),
+        );
+        for row in &self.ts_build {
+            out.push_str(&format!(
+                "  ts_build {}KB: serial {} ms, parallel({}) {} ms, speedup {}\n",
+                row.budget_kb,
+                json_f(row.serial_ms),
+                row.threads,
+                json_f(row.parallel_ms),
+                json_f(row.speedup),
+            ));
+        }
+        out.push_str(&format!(
+            "  eval_query: {} queries, total {} ms ({} us/query)\n",
+            self.eval_queries,
+            json_f(self.eval_total_ms),
+            json_f(self.eval_per_query_us),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BaselineConfig {
+        BaselineConfig {
+            elements: 2_000,
+            queries: 10,
+            runs: 1,
+            budgets_kb: vec![2, 4],
+            out: std::env::temp_dir().join(format!("axqa-bench-{}.json", std::process::id())),
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_emits_wellformed_snapshot() {
+        let config = tiny();
+        let report = run_baseline(&config);
+        assert_eq!(report.ts_build.len(), 2);
+        assert!(report.stable_build_ms >= 0.0);
+        assert!(report.eval_queries > 0);
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"axqa-bench-baseline/1\"",
+            "\"machine\"",
+            "\"cpus\"",
+            "\"stable_build_ms\"",
+            "\"ts_build\"",
+            "\"eval_query\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        report.write().unwrap();
+        let on_disk = std::fs::read_to_string(&config.out).unwrap();
+        assert_eq!(on_disk, json);
+        let _ = std::fs::remove_file(&config.out);
+    }
+
+    #[test]
+    fn dataset_names_parse() {
+        assert_eq!(parse_dataset("xmark"), Some(Dataset::XMark));
+        assert_eq!(parse_dataset("SwissProt"), Some(Dataset::SProt));
+        assert_eq!(parse_dataset("nope"), None);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut a = [3.0, 1.0, 2.0];
+        assert_eq!(median_ms(&mut a), 2.0);
+        let mut b: [f64; 0] = [];
+        assert_eq!(median_ms(&mut b), 0.0);
+    }
+}

@@ -15,10 +15,8 @@ use axqa_xsketch::answer::{sample_answer, SampleConfig};
 use axqa_xsketch::build::{build_xsketch, XsBuildConfig};
 use axqa_xsketch::estimate::{xs_estimate_selectivity, XsEvalConfig};
 use axqa_xsketch::XSketch;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Experiment-level configuration.
@@ -254,28 +252,36 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
             &budget_bytes,
             &BuildConfig::with_budget(0),
         );
-        for (sweep_index, &budget_kb) in config.budgets_kb.iter().enumerate() {
-            let ts = sweep[sweep_index].clone();
-            let ts_esd: Vec<f64> = parallel_map(config, n_esd, |i| {
-                esd_of_treesketch_answer(&prepared, &ts, i, &truths[i], &esd_config)
-            });
-            let xs_esd = if config.with_xsketch {
-                let xs = build_xsketch(
-                    &prepared.stable,
-                    &build_workload,
-                    &XsBuildConfig::with_budget(kb(budget_kb)),
-                );
-                let values: Vec<f64> = parallel_map(config, n_esd, |i| {
-                    esd_of_xsketch_answer(&prepared, &xs, i, &truths[i], &esd_config, config)
-                });
-                Some(mean(&values))
+        // Flattened (budget × query) fan-out: queries of every budget
+        // feed one pool, so a slow budget cannot idle the workers.
+        let n_budgets = config.budgets_kb.len();
+        let ts_esd: Vec<f64> = parallel_map(config, n_budgets * n_esd, |idx| {
+            let (bi, i) = (idx / n_esd, idx % n_esd);
+            esd_of_treesketch_answer(&prepared, &sweep[bi], i, &truths[i], &esd_config)
+        });
+        let xs_all: Vec<XSketch> = if config.with_xsketch {
+            xsketches_per_budget(config, &prepared.stable, &build_workload)
+        } else {
+            Vec::new()
+        };
+        let xs_esd: Vec<f64> = if config.with_xsketch {
+            parallel_map(config, n_budgets * n_esd, |idx| {
+                let (bi, i) = (idx / n_esd, idx % n_esd);
+                esd_of_xsketch_answer(&prepared, &xs_all[bi], i, &truths[i], &esd_config, config)
+            })
+        } else {
+            Vec::new()
+        };
+        for (bi, &budget_kb) in config.budgets_kb.iter().enumerate() {
+            let xs_cell = if config.with_xsketch {
+                fmt_f(mean(&xs_esd[bi * n_esd..(bi + 1) * n_esd]))
             } else {
-                None
+                "-".into()
             };
             table.row(vec![
                 format!("{budget_kb}KB"),
-                fmt_f(mean(&ts_esd)),
-                xs_esd.map_or("-".into(), fmt_f),
+                fmt_f(mean(&ts_esd[bi * n_esd..(bi + 1) * n_esd])),
+                xs_cell,
             ]);
         }
         config.save(&table, &format!("fig11_{}", dataset.name().to_lowercase()));
@@ -366,37 +372,45 @@ pub fn fig12(config: &ExperimentConfig) -> Vec<Table> {
             &budget_bytes,
             &BuildConfig::with_budget(0),
         );
-        for (sweep_index, &budget_kb) in config.budgets_kb.iter().enumerate() {
-            let ts = sweep[sweep_index].clone();
-            let ts_err: Vec<f64> = parallel_map(config, n, |i| {
-                let est = match eval_query(&ts, &prepared.workload[i], &EvalConfig::default()) {
-                    Some(result) => estimate_selectivity(&result, &prepared.workload[i]),
-                    None => 0.0,
-                };
-                relative_error(prepared.exact[i], est, sanity)
-            });
-            let xs_err = if config.with_xsketch {
-                let xs = build_xsketch(
-                    &prepared.stable,
-                    &build_workload,
-                    &XsBuildConfig::with_budget(kb(budget_kb)),
+        // Same flattening as fig11: one (budget × query) fan-out per
+        // technique instead of a serial loop over budgets.
+        let n_budgets = config.budgets_kb.len();
+        let ts_err: Vec<f64> = parallel_map(config, n_budgets * n, |idx| {
+            let (bi, i) = (idx / n, idx % n);
+            let est = match eval_query(&sweep[bi], &prepared.workload[i], &EvalConfig::default()) {
+                Some(result) => estimate_selectivity(&result, &prepared.workload[i]),
+                None => 0.0,
+            };
+            relative_error(prepared.exact[i], est, sanity)
+        });
+        let xs_all: Vec<XSketch> = if config.with_xsketch {
+            xsketches_per_budget(config, &prepared.stable, &build_workload)
+        } else {
+            Vec::new()
+        };
+        let xs_err: Vec<f64> = if config.with_xsketch {
+            parallel_map(config, n_budgets * n, |idx| {
+                let (bi, i) = (idx / n, idx % n);
+                let est = xs_estimate_selectivity(
+                    &xs_all[bi],
+                    &prepared.workload[i],
+                    &XsEvalConfig::default(),
                 );
-                let values: Vec<f64> = parallel_map(config, n, |i| {
-                    let est = xs_estimate_selectivity(
-                        &xs,
-                        &prepared.workload[i],
-                        &XsEvalConfig::default(),
-                    );
-                    relative_error(prepared.exact[i], est, sanity)
-                });
-                Some(mean(&values) * 100.0)
+                relative_error(prepared.exact[i], est, sanity)
+            })
+        } else {
+            Vec::new()
+        };
+        for (bi, &budget_kb) in config.budgets_kb.iter().enumerate() {
+            let xs_cell = if config.with_xsketch {
+                format!("{:.1}", mean(&xs_err[bi * n..(bi + 1) * n]) * 100.0)
             } else {
-                None
+                "-".into()
             };
             table.row(vec![
                 format!("{budget_kb}KB"),
-                format!("{:.1}", mean(&ts_err) * 100.0),
-                xs_err.map_or("-".into(), |e| format!("{e:.1}")),
+                format!("{:.1}", mean(&ts_err[bi * n..(bi + 1) * n]) * 100.0),
+                xs_cell,
             ]);
         }
         config.save(&table, &format!("fig12_{}", dataset.name().to_lowercase()));
@@ -436,17 +450,21 @@ pub fn fig13(config: &ExperimentConfig) -> Table {
             &BuildConfig::with_budget(0),
         );
         let build_time = start.elapsed();
+        // Flattened (budget × query) fan-out over all five budgets.
+        let values: Vec<f64> = parallel_map(config, fig13_budgets.len() * n, |idx| {
+            let (bi, i) = (idx / n, idx % n);
+            let est = match eval_query(&sweep[bi], &prepared.workload[i], &EvalConfig::default()) {
+                Some(result) => estimate_selectivity(&result, &prepared.workload[i]),
+                None => 0.0,
+            };
+            relative_error(prepared.exact[i], est, sanity)
+        });
         let mut errs: Vec<String> = Vec::new();
-        for (sweep_index, _budget_kb) in fig13_budgets.iter().enumerate() {
-            let ts = sweep[sweep_index].clone();
-            let values: Vec<f64> = parallel_map(config, n, |i| {
-                let est = match eval_query(&ts, &prepared.workload[i], &EvalConfig::default()) {
-                    Some(result) => estimate_selectivity(&result, &prepared.workload[i]),
-                    None => 0.0,
-                };
-                relative_error(prepared.exact[i], est, sanity)
-            });
-            errs.push(format!("{:.1}", mean(&values) * 100.0));
+        for bi in 0..fig13_budgets.len() {
+            errs.push(format!(
+                "{:.1}",
+                mean(&values[bi * n..(bi + 1) * n]) * 100.0
+            ));
         }
         let mut row = vec![dataset.name().to_string(), fmt_secs(build_time)];
         row.extend(errs);
@@ -686,38 +704,30 @@ fn mean(values: &[f64]) -> f64 {
     }
 }
 
-/// Index-parallel map with the configured worker count.
+/// Index-parallel map with the configured worker count (delegates to
+/// the shared scoped-thread pool primitive in [`crate::pipeline`]).
 fn parallel_map<T, F>(config: &ExperimentConfig, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = config.pipeline.effective_threads().max(1);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let scope_result = crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                results.lock()[i] = Some(value);
-            });
-        }
-    });
-    if scope_result.is_err() {
-        panic!("experiment worker panicked");
-    }
-    results
-        .into_inner()
-        .into_iter()
-        .map(|slot| match slot {
-            Some(value) => value,
-            None => unreachable!("all indices computed"),
-        })
-        .collect()
+    crate::pipeline::parallel_map_indexed(config.pipeline.effective_threads().max(1), n, f)
+}
+
+/// Builds the twig-XSketch baseline at every budget, one budget per
+/// worker (each build is independent, so budgets fan out).
+fn xsketches_per_budget(
+    config: &ExperimentConfig,
+    stable: &axqa_synopsis::StableSummary,
+    build_workload: &[(axqa_query::TwigQuery, f64)],
+) -> Vec<XSketch> {
+    parallel_map(config, config.budgets_kb.len(), |bi| {
+        build_xsketch(
+            stable,
+            build_workload,
+            &XsBuildConfig::with_budget(kb(config.budgets_kb[bi])),
+        )
+    })
 }
 
 #[cfg(test)]

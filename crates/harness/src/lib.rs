@@ -26,12 +26,14 @@
 //! | `fig13`    | Figure 13 — TreeSketch error on the large datasets       |
 //! | `negative` | §6.1 — negative-workload behavior                        |
 //! | `all`      | everything above (EXPERIMENTS.md source)                 |
+//! | `bench`    | `bench baseline` — wall-clock snapshot (BENCH_core.json) |
 //!
 //! Scale control: `--scale f` multiplies every dataset's element target
 //! (default 0.25 for figures — laptop-friendly while preserving the
 //! shapes; `--scale 1` is the paper's scale), `--queries n` sets the
 //! workload size (paper: 1000).
 
+pub mod bench;
 pub mod experiments;
 pub mod pipeline;
 pub mod report;

@@ -9,6 +9,10 @@
 //!   family              §3.1 synopsis-family sizes (A(k), 1-index, stable)
 //!   values              value-predicate estimation (extension)
 //!   all                 every experiment in order
+//!   bench baseline      wall-clock baseline snapshot (BENCH_core.json);
+//!                       options: --dataset NAME --elements N --queries N
+//!                       --runs N --budgets a,b,c --threads N --seed N
+//!                       --out PATH
 //!
 //! options:
 //!   --scale F           dataset scale multiplier (default 0.25; 1 = paper)
@@ -31,9 +35,12 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: harness <table1|table2|table3|fig11|fig12|fig13|negative|ablation|family|all> [options]");
+        eprintln!("usage: harness <table1|table2|table3|fig11|fig12|fig13|negative|ablation|family|all|bench> [options]");
         return ExitCode::from(2);
     };
+    if command == "bench" {
+        return cmd_bench(&args[1..]);
+    }
     let mut config = ExperimentConfig {
         pipeline: PipelineConfig {
             scale: 0.25,
@@ -117,6 +124,67 @@ fn main() -> ExitCode {
         }
     }
     println!("# done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first() else {
+        eprintln!("usage: harness bench baseline [options]");
+        return ExitCode::from(2);
+    };
+    if sub != "baseline" {
+        eprintln!("unknown bench subcommand {sub} (expected: baseline)");
+        return ExitCode::from(2);
+    }
+    let mut config = axqa_harness::bench::BaselineConfig::default();
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--dataset" => {
+                let name = value("--dataset");
+                config.dataset = axqa_harness::bench::parse_dataset(&name).unwrap_or_else(|| {
+                    eprintln!("unknown dataset {name} (xmark|imdb|sprot|dblp)");
+                    std::process::exit(2);
+                });
+            }
+            "--elements" => config.elements = parse(&value("--elements")),
+            "--queries" => config.queries = parse(&value("--queries")),
+            "--runs" => config.runs = parse(&value("--runs")),
+            "--threads" => config.threads = parse(&value("--threads")),
+            "--seed" => config.seed = parse(&value("--seed")),
+            "--budgets" => {
+                config.budgets_kb = value("--budgets")
+                    .split(',')
+                    .map(|s| parse::<usize>(s.trim()))
+                    .collect();
+            }
+            "--out" => config.out = value("--out").into(),
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let started = std::time::Instant::now();
+    let report = axqa_harness::bench::run_baseline(&config);
+    print!("{}", report.render());
+    if let Err(error) = report.write() {
+        eprintln!("could not write {}: {error}", config.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "# wrote {} in {:.1}s",
+        config.out.display(),
+        started.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }
 

@@ -140,6 +140,48 @@ impl Prepared {
     }
 }
 
+/// Index-parallel map: evaluates `f(0), …, f(n-1)` on `threads` scoped
+/// workers (work-stealing via an atomic cursor) and returns the results
+/// in index order. `threads <= 1` or `n <= 1` runs inline. This is the
+/// one fan-out primitive of the harness — exact ground truth, the
+/// per-budget/per-query experiment loops, and the bench baseline all go
+/// through it.
+pub fn parallel_map_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let scope_result = crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                results.lock()[i] = Some(value);
+            });
+        }
+    });
+    if scope_result.is_err() {
+        panic!("parallel map worker panicked");
+    }
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| match slot {
+            Some(value) => value,
+            None => unreachable!("every index computed"),
+        })
+        .collect()
+}
+
 /// Evaluates the workload exactly, in parallel.
 fn exact_ground_truth(
     doc: &Document,
@@ -148,41 +190,23 @@ fn exact_ground_truth(
     config: &PipelineConfig,
 ) -> (Vec<Option<NestingTree>>, Vec<f64>) {
     let threads = config.effective_threads().max(1);
-    type Slot = Option<(Option<NestingTree>, f64)>;
-    let results: Mutex<Vec<Slot>> = Mutex::new(vec![None; workload.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let scope_result = crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= workload.len() {
-                    break;
-                }
-                let (nt, count) = if config.need_nesting {
-                    let nt = evaluate(doc, index, &workload[i]);
-                    let count = nt
-                        .as_ref()
-                        .map_or(0.0, |tree| tree.binding_tuples(&workload[i]));
-                    (nt, count)
-                } else {
-                    (
-                        None,
-                        axqa_eval::count_binding_tuples(doc, index, &workload[i]),
-                    )
-                };
-                results.lock()[i] = Some((nt, count));
-            });
+    let results = parallel_map_indexed(threads, workload.len(), |i| {
+        if config.need_nesting {
+            let nt = evaluate(doc, index, &workload[i]);
+            let count = nt
+                .as_ref()
+                .map_or(0.0, |tree| tree.binding_tuples(&workload[i]));
+            (nt, count)
+        } else {
+            (
+                None,
+                axqa_eval::count_binding_tuples(doc, index, &workload[i]),
+            )
         }
     });
-    if scope_result.is_err() {
-        panic!("exact evaluation worker panicked");
-    }
     let mut nesting = Vec::with_capacity(workload.len());
     let mut exact = Vec::with_capacity(workload.len());
-    for slot in results.into_inner() {
-        let Some((nt, count)) = slot else {
-            unreachable!("every query evaluated");
-        };
+    for (nt, count) in results {
         nesting.push(nt);
         exact.push(count);
     }
@@ -220,5 +244,15 @@ mod tests {
         assert_eq!(relative_error(10.0, 5.0, 1.0), 1.0);
         assert_eq!(relative_error(10.0, 0.0, 2.0), 5.0);
         assert_eq!(relative_error(4.0, 4.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_and_preserves_order() {
+        let serial: Vec<usize> = parallel_map_indexed(1, 100, |i| i * i);
+        let parallel: Vec<usize> = parallel_map_indexed(4, 100, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+        let empty: Vec<usize> = parallel_map_indexed(4, 0, |i| i);
+        assert!(empty.is_empty());
     }
 }
