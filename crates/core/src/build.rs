@@ -164,14 +164,26 @@ impl Ord for Candidate {
 /// assert!(report.sketch.len() < stable.len());
 /// assert_eq!(report.sketch.total_elements(), doc.len() as u64);
 /// ```
+///
+/// # Panics
+///
+/// Panics if `config.budget_bytes` is 0 — no synopsis fits in zero
+/// bytes. Use [`try_ts_build`] to get a typed
+/// [`crate::error::AxqaError::InvalidBudget`] instead.
 pub fn ts_build(stable: &StableSummary, config: &BuildConfig) -> BuildReport {
     let mut state = ClusterState::new(stable, config.size_model);
-    ts_build_state(&mut state, config)
+    match ts_build_state(&mut state, config) {
+        Ok(report) => report,
+        // The error Display already carries the "ts_build" context.
+        Err(error) => panic!("{error}"),
+    }
 }
 
 /// Fallible `TSBUILD` (Fig. 5): like [`ts_build`], but rejects an empty
-/// stable summary with [`crate::error::AxqaError::EmptySynopsis`] instead of building
-/// a degenerate synopsis with no root.
+/// stable summary with [`crate::error::AxqaError::EmptySynopsis`], and a
+/// zero byte budget with [`crate::error::AxqaError::InvalidBudget`],
+/// instead of building a degenerate synopsis with no root (or
+/// panicking).
 pub fn try_ts_build(
     stable: &StableSummary,
     config: &BuildConfig,
@@ -181,22 +193,35 @@ pub fn try_ts_build(
             context: "ts_build",
         });
     }
-    Ok(ts_build(stable, config))
+    let mut state = ClusterState::new(stable, config.size_model);
+    ts_build_state(&mut state, config)
 }
 
 /// TSBUILD (Fig. 5) over a caller-provided state (lets tests inspect
-/// the state).
-pub fn ts_build_state(state: &mut ClusterState<'_>, config: &BuildConfig) -> BuildReport {
+/// the state). Fails with [`crate::error::AxqaError::InvalidBudget`]
+/// when `config.budget_bytes` is 0.
+pub fn ts_build_state(
+    state: &mut ClusterState<'_>,
+    config: &BuildConfig,
+) -> Result<BuildReport, crate::error::AxqaError> {
     ts_build_to_budget(state, config, config.budget_bytes)
 }
 
 /// TSBUILD (Fig. 5) with the byte budget threaded explicitly, so budget
-/// sweeps reuse one `config` instead of cloning it per step.
+/// sweeps reuse one `config` instead of cloning it per step. A zero
+/// budget is rejected up front: the merge loop would otherwise run to
+/// the label-split floor and silently report `reached_budget: false`,
+/// masking what is always a caller bug (budgets are byte *capacities*).
 fn ts_build_to_budget(
     state: &mut ClusterState<'_>,
     config: &BuildConfig,
     budget_bytes: usize,
-) -> BuildReport {
+) -> Result<BuildReport, crate::error::AxqaError> {
+    if budget_bytes == 0 {
+        return Err(crate::error::AxqaError::InvalidBudget {
+            context: "ts_build",
+        });
+    }
     let mut merges = 0usize;
     let mut pool_rebuilds = 0usize;
 
@@ -248,7 +273,7 @@ fn ts_build_to_budget(
 
     let final_bytes = state.size_bytes();
     let (sketch, stable_assignment) = state.to_sketch_with_assignment();
-    BuildReport {
+    Ok(BuildReport {
         sketch,
         merges,
         pool_rebuilds,
@@ -256,7 +281,7 @@ fn ts_build_to_budget(
         final_bytes,
         squared_error: state.squared_error(),
         stable_assignment,
-    }
+    })
 }
 
 /// Budget sweep: compresses once, snapshotting the synopsis at every
@@ -266,6 +291,10 @@ fn ts_build_to_budget(
 /// small budget extend those for a large one), but pays the
 /// construction cost once. Returns sketches aligned with the input
 /// order.
+///
+/// # Panics
+///
+/// Panics if any budget in `budgets` is 0 (see [`ts_build`]).
 pub fn ts_build_sweep(
     stable: &StableSummary,
     budgets: &[usize],
@@ -276,7 +305,9 @@ pub fn ts_build_sweep(
     let mut state = ClusterState::new(stable, config.size_model);
     let mut snaps: Vec<Option<PartitionSnapshot>> = (0..budgets.len()).map(|_| None).collect();
     for index in order {
-        let _ = ts_build_to_budget(&mut state, config, budgets[index]);
+        if let Err(error) = ts_build_to_budget(&mut state, config, budgets[index]) {
+            panic!("ts_build_sweep: {error}");
+        }
         // Snapshots are cheap copies of the live partition; the costly
         // finalization (renumbering, centroids, edge sorting) is fanned
         // out below once the sequential merging is done.
@@ -762,8 +793,35 @@ mod tests {
         let stable = build_stable(&doc);
         let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
         let config = BuildConfig::with_budget(1);
-        let _ = ts_build_state(&mut state, &config);
+        let _ = ts_build_state(&mut state, &config).unwrap();
         state.verify().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_is_a_typed_error() {
+        let doc = parse_document("<r><a/><a/></r>").unwrap();
+        let stable = build_stable(&doc);
+
+        let err = try_ts_build(&stable, &BuildConfig::with_budget(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::AxqaError::InvalidBudget {
+                context: "ts_build"
+            }
+        ));
+        assert!(err.to_string().contains("at least 1 byte"));
+
+        let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
+        let err = ts_build_state(&mut state, &BuildConfig::with_budget(0)).unwrap_err();
+        assert!(matches!(err, crate::error::AxqaError::InvalidBudget { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "ts_build: synopsis byte budget")]
+    fn infallible_ts_build_panics_on_zero_budget() {
+        let doc = parse_document("<r><a/></r>").unwrap();
+        let stable = build_stable(&doc);
+        let _ = ts_build(&stable, &BuildConfig::with_budget(0));
     }
 }
 

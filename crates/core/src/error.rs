@@ -29,6 +29,12 @@ pub enum AxqaError {
         /// The ratio that was attempted.
         context: &'static str,
     },
+    /// A synopsis construction was asked for a zero-byte budget: no
+    /// TreeSketch (not even a single summary node) fits in 0 bytes.
+    InvalidBudget {
+        /// The operation that was attempted.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for AxqaError {
@@ -41,6 +47,9 @@ impl fmt::Display for AxqaError {
             }
             AxqaError::ZeroCountDivision { context } => {
                 write!(f, "{context}: division by a zero element count")
+            }
+            AxqaError::InvalidBudget { context } => {
+                write!(f, "{context}: synopsis byte budget must be at least 1 byte")
             }
         }
     }
@@ -92,5 +101,11 @@ mod tests {
             context: "value selectivity",
         };
         assert!(zero.to_string().contains("zero element count"));
+
+        let budget = AxqaError::InvalidBudget {
+            context: "ts_build",
+        };
+        assert!(budget.to_string().contains("at least 1 byte"));
+        assert!(std::error::Error::source(&budget).is_none());
     }
 }

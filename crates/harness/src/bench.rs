@@ -49,6 +49,27 @@ impl Default for BaselineConfig {
     }
 }
 
+impl BaselineConfig {
+    /// Checks invariants the flag types cannot express: a median needs
+    /// at least one timed run, and the sweep needs real work to time.
+    /// The CLI rejects the config (usage error, nonzero exit) on `Err`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.runs == 0 {
+            return Err("--runs must be at least 1 (medians need at least one sample)".into());
+        }
+        if self.budgets_kb.is_empty() {
+            return Err("--budgets must list at least one budget in KB".into());
+        }
+        if self.elements == 0 {
+            return Err("--elements must be at least 1".into());
+        }
+        if self.queries == 0 {
+            return Err("--queries must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Parses a dataset name as accepted on the command line.
 pub fn parse_dataset(name: &str) -> Option<Dataset> {
     match name.to_ascii_lowercase().as_str() {
@@ -347,6 +368,28 @@ mod tests {
         let on_disk = std::fs::read_to_string(&config.out).unwrap();
         assert_eq!(on_disk, json);
         let _ = std::fs::remove_file(&config.out);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(tiny().validate().is_ok());
+        let zero_runs = BaselineConfig { runs: 0, ..tiny() };
+        assert!(zero_runs.validate().unwrap_err().contains("--runs"));
+        let no_budgets = BaselineConfig {
+            budgets_kb: Vec::new(),
+            ..tiny()
+        };
+        assert!(no_budgets.validate().unwrap_err().contains("--budgets"));
+        let zero_elements = BaselineConfig {
+            elements: 0,
+            ..tiny()
+        };
+        assert!(zero_elements.validate().is_err());
+        let zero_queries = BaselineConfig {
+            queries: 0,
+            ..tiny()
+        };
+        assert!(zero_queries.validate().is_err());
     }
 
     #[test]

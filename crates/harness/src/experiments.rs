@@ -47,10 +47,10 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    fn save(&self, table: &Table, name: &str) {
+    fn save(&self, table: &mut Table, name: &str) {
         if let Some(dir) = &self.csv_dir {
             if let Err(error) = table.save_csv(dir, name) {
-                eprintln!("warning: could not write {name}.csv: {error}");
+                table.note(format!("could not write {name}.csv: {error}"));
             }
         }
     }
@@ -106,7 +106,7 @@ pub fn table1(config: &ExperimentConfig) -> Table {
     for dataset in Dataset::ALL {
         add(dataset, true, "");
     }
-    config.save(&table, "table1");
+    config.save(&mut table, "table1");
     table
 }
 
@@ -144,7 +144,7 @@ pub fn table2(config: &ExperimentConfig) -> Table {
             fmt_f(prepared.avg_binding_tuples()),
         ]);
     }
-    config.save(&table, "table2");
+    config.save(&mut table, "table2");
     table
 }
 
@@ -189,7 +189,7 @@ pub fn table3(config: &ExperimentConfig) -> Table {
             prepared.stable.len().to_string(),
         ]);
     }
-    config.save(&table, "table3");
+    config.save(&mut table, "table3");
     table
 }
 
@@ -284,7 +284,10 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
                 xs_cell,
             ]);
         }
-        config.save(&table, &format!("fig11_{}", dataset.name().to_lowercase()));
+        config.save(
+            &mut table,
+            &format!("fig11_{}", dataset.name().to_lowercase()),
+        );
         tables.push(table);
     }
     tables
@@ -413,7 +416,10 @@ pub fn fig12(config: &ExperimentConfig) -> Vec<Table> {
                 xs_cell,
             ]);
         }
-        config.save(&table, &format!("fig12_{}", dataset.name().to_lowercase()));
+        config.save(
+            &mut table,
+            &format!("fig12_{}", dataset.name().to_lowercase()),
+        );
         tables.push(table);
     }
     tables
@@ -470,7 +476,7 @@ pub fn fig13(config: &ExperimentConfig) -> Table {
         row.extend(errs);
         table.row(row);
     }
-    config.save(&table, "fig13");
+    config.save(&mut table, "fig13");
     table
 }
 
@@ -511,7 +517,7 @@ pub fn negative(config: &ExperimentConfig) -> Table {
             fmt_f(estimate_sum / negatives.len() as f64),
         ]);
     }
-    config.save(&table, "negative");
+    config.save(&mut table, "negative");
     table
 }
 
@@ -542,7 +548,7 @@ pub fn ablation_topdown(config: &ExperimentConfig) -> Table {
             ]);
         }
     }
-    config.save(&table, "ablation_topdown");
+    config.save(&mut table, "ablation_topdown");
     table
 }
 
@@ -641,7 +647,7 @@ pub fn values(config: &ExperimentConfig) -> Table {
             ]);
         }
     }
-    config.save(&table, "values");
+    config.save(&mut table, "values");
     table
 }
 
@@ -688,7 +694,7 @@ pub fn family(config: &ExperimentConfig) -> Table {
             fmt(prepared.stable.len(), prepared.stable.num_edges()),
         ]);
     }
-    config.save(&table, "family");
+    config.save(&mut table, "family");
     table
 }
 

@@ -24,6 +24,10 @@
 //!   --no-xsketch        skip the slow twig-XSketch baseline
 //!   --csv DIR           also write CSV files into DIR
 //! ```
+//!
+//! All argument errors flow back to `main` as `Err(message)` and exit
+//! with status 2 (usage); the process never calls `std::process::exit`
+//! (forbidden-api rule — destructors must run).
 
 use axqa_harness::experiments::{
     ablation_topdown, family, fig11, fig12, fig13, negative, table1, table2, table3, values,
@@ -32,55 +36,28 @@ use axqa_harness::experiments::{
 use axqa_harness::PipelineConfig;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: harness <table1|table2|table3|fig11|fig12|fig13|negative|ablation|\
+                     family|values|all|bench> [options]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("harness: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: harness <table1|table2|table3|fig11|fig12|fig13|negative|ablation|family|all|bench> [options]");
-        return ExitCode::from(2);
+        return Err(USAGE.to_string());
     };
     if command == "bench" {
         return cmd_bench(&args[1..]);
     }
-    let mut config = ExperimentConfig {
-        pipeline: PipelineConfig {
-            scale: 0.25,
-            queries: 200,
-            seed: 0x5EED,
-            threads: 0,
-            need_nesting: true,
-        },
-        ..ExperimentConfig::default()
-    };
-    let mut iter = args.iter().skip(1);
-    while let Some(arg) = iter.next() {
-        let mut value = |name: &str| -> String {
-            iter.next()
-                .unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    std::process::exit(2);
-                })
-                .clone()
-        };
-        match arg.as_str() {
-            "--scale" => config.pipeline.scale = parse(&value("--scale")),
-            "--queries" => config.pipeline.queries = parse(&value("--queries")),
-            "--esd-queries" => config.esd_queries = parse(&value("--esd-queries")),
-            "--seed" => config.pipeline.seed = parse(&value("--seed")),
-            "--threads" => config.pipeline.threads = parse(&value("--threads")),
-            "--no-xsketch" => config.with_xsketch = false,
-            "--budgets" => {
-                config.budgets_kb = value("--budgets")
-                    .split(',')
-                    .map(|s| parse::<usize>(s.trim()))
-                    .collect();
-            }
-            "--csv" => config.csv_dir = Some(value("--csv").into()),
-            other => {
-                eprintln!("unknown option {other}");
-                return ExitCode::from(2);
-            }
-        }
-    }
+    let config = parse_experiment_args(&args[1..])?;
 
     println!(
         "# axqa harness — scale {:.2}, {} queries, seed {:#x}, budgets {:?} KB{}",
@@ -118,74 +95,98 @@ fn main() -> ExitCode {
             print_one(values(&config));
             print_one(ablation_topdown(&config));
         }
-        other => {
-            eprintln!("unknown command {other}");
-            return ExitCode::from(2);
-        }
+        other => return Err(format!("unknown command {other}\n{USAGE}")),
     }
     println!("# done in {:.1}s", started.elapsed().as_secs_f64());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> ExitCode {
+fn parse_experiment_args(args: &[String]) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig {
+        pipeline: PipelineConfig {
+            scale: 0.25,
+            queries: 200,
+            seed: 0x5EED,
+            threads: 0,
+            need_nesting: true,
+        },
+        ..ExperimentConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => config.pipeline.scale = parse("--scale", &value("--scale")?)?,
+            "--queries" => config.pipeline.queries = parse("--queries", &value("--queries")?)?,
+            "--esd-queries" => {
+                config.esd_queries = parse("--esd-queries", &value("--esd-queries")?)?;
+            }
+            "--seed" => config.pipeline.seed = parse("--seed", &value("--seed")?)?,
+            "--threads" => config.pipeline.threads = parse("--threads", &value("--threads")?)?,
+            "--no-xsketch" => config.with_xsketch = false,
+            "--budgets" => config.budgets_kb = parse_budgets(&value("--budgets")?)?,
+            "--csv" => config.csv_dir = Some(value("--csv")?.into()),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    const BENCH_USAGE: &str = "usage: harness bench baseline [--dataset NAME] [--elements N] \
+                               [--queries N] [--runs N] [--budgets a,b,c] [--threads N] \
+                               [--seed N] [--out PATH]";
     let Some(sub) = args.first() else {
-        eprintln!("usage: harness bench baseline [options]");
-        return ExitCode::from(2);
+        return Err(BENCH_USAGE.to_string());
     };
     if sub != "baseline" {
-        eprintln!("unknown bench subcommand {sub} (expected: baseline)");
-        return ExitCode::from(2);
+        return Err(format!(
+            "unknown bench subcommand {sub} (expected: baseline)\n{BENCH_USAGE}"
+        ));
     }
     let mut config = axqa_harness::bench::BaselineConfig::default();
     let mut iter = args.iter().skip(1);
     while let Some(arg) = iter.next() {
-        let mut value = |name: &str| -> String {
+        let mut value = |name: &str| -> Result<String, String> {
             iter.next()
-                .unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    std::process::exit(2);
-                })
-                .clone()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--dataset" => {
-                let name = value("--dataset");
-                config.dataset = axqa_harness::bench::parse_dataset(&name).unwrap_or_else(|| {
-                    eprintln!("unknown dataset {name} (xmark|imdb|sprot|dblp)");
-                    std::process::exit(2);
-                });
+                let name = value("--dataset")?;
+                config.dataset = axqa_harness::bench::parse_dataset(&name)
+                    .ok_or_else(|| format!("unknown dataset {name} (xmark|imdb|sprot|dblp)"))?;
             }
-            "--elements" => config.elements = parse(&value("--elements")),
-            "--queries" => config.queries = parse(&value("--queries")),
-            "--runs" => config.runs = parse(&value("--runs")),
-            "--threads" => config.threads = parse(&value("--threads")),
-            "--seed" => config.seed = parse(&value("--seed")),
-            "--budgets" => {
-                config.budgets_kb = value("--budgets")
-                    .split(',')
-                    .map(|s| parse::<usize>(s.trim()))
-                    .collect();
-            }
-            "--out" => config.out = value("--out").into(),
-            other => {
-                eprintln!("unknown option {other}");
-                return ExitCode::from(2);
-            }
+            "--elements" => config.elements = parse("--elements", &value("--elements")?)?,
+            "--queries" => config.queries = parse("--queries", &value("--queries")?)?,
+            "--runs" => config.runs = parse("--runs", &value("--runs")?)?,
+            "--threads" => config.threads = parse("--threads", &value("--threads")?)?,
+            "--seed" => config.seed = parse("--seed", &value("--seed")?)?,
+            "--budgets" => config.budgets_kb = parse_budgets(&value("--budgets")?)?,
+            "--out" => config.out = value("--out")?.into(),
+            other => return Err(format!("unknown option {other}\n{BENCH_USAGE}")),
         }
     }
+    config
+        .validate()
+        .map_err(|message| format!("{message}\n{BENCH_USAGE}"))?;
     let started = std::time::Instant::now();
     let report = axqa_harness::bench::run_baseline(&config);
     print!("{}", report.render());
-    if let Err(error) = report.write() {
-        eprintln!("could not write {}: {error}", config.out.display());
-        return ExitCode::FAILURE;
-    }
+    report
+        .write()
+        .map_err(|error| format!("could not write {}: {error}", config.out.display()))?;
     println!(
         "# wrote {} in {:.1}s",
         config.out.display(),
         started.elapsed().as_secs_f64()
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn print_one(table: axqa_harness::report::Table) {
@@ -198,9 +199,13 @@ fn print_many(tables: Vec<axqa_harness::report::Table>) {
     }
 }
 
-fn parse<T: std::str::FromStr>(text: &str) -> T {
-    text.parse().unwrap_or_else(|_| {
-        eprintln!("could not parse option value {text:?}");
-        std::process::exit(2);
-    })
+fn parse<T: std::str::FromStr>(name: &str, text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("could not parse {name} value {text:?}"))
+}
+
+fn parse_budgets(text: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|s| parse::<usize>("--budgets", s.trim()))
+        .collect()
 }

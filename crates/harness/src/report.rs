@@ -8,6 +8,7 @@ pub struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    notes: Vec<String>,
 }
 
 impl Table {
@@ -17,6 +18,7 @@ impl Table {
             title: title.into(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -24,6 +26,12 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.header.len());
         self.rows.push(cells);
+    }
+
+    /// Attaches a note rendered below the table (non-fatal diagnostics
+    /// travel with the report instead of leaking to stderr).
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
     }
 
     /// Renders the aligned text form.
@@ -47,6 +55,9 @@ impl Table {
         let _ = writeln!(out, "{}", "-".repeat(total));
         for row in &self.rows {
             line(row, &widths, &mut out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
         }
         out
     }

@@ -1,0 +1,628 @@
+//! The per-file token rules, ported from the PR 1 line scanner onto the
+//! token stream (DESIGN.md §8). Every rule skips `#[cfg(test)]` tokens
+//! via the file's test mask and is immune to string-literal and
+//! comment false positives by construction.
+
+use crate::token::{next_code, prev_code, Token, TokenKind};
+use crate::{Finding, Rule, SourceFile};
+
+/// Identifier fragments that mark a quantity as count-like.
+const COUNT_NEEDLES: [&str; 4] = ["count", "card", "sel", "freq"];
+
+fn finding(rule: &'static str, file: &SourceFile, token: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        severity: crate::Severity::Error,
+        file: file.rel.clone(),
+        line: token.line,
+        span: (token.start, token.end),
+        message,
+    }
+}
+
+/// The `a.b.c` identifier chain ending at token `i` (inclusive), or
+/// `None` if token `i` is not an identifier. Mirrors the old scanner's
+/// "trailing identifier" but across lines: walks `Ident (. Ident)*`
+/// backwards from `i`.
+fn ident_chain(file: &SourceFile, i: usize) -> Option<(usize, String)> {
+    if file.tokens[i].kind != TokenKind::Ident {
+        return None;
+    }
+    let mut first = i;
+    while let Some(dot) = prev_code(&file.tokens, first) {
+        if file.tokens[dot].text(&file.text) != "." {
+            break;
+        }
+        let Some(prev) = prev_code(&file.tokens, dot) else {
+            break;
+        };
+        if file.tokens[prev].kind != TokenKind::Ident {
+            break;
+        }
+        first = prev;
+    }
+    let mut chain = String::new();
+    let mut j = first;
+    loop {
+        if !chain.is_empty() {
+            chain.push('.');
+        }
+        chain.push_str(file.tokens[j].text(&file.text));
+        if j == i {
+            break;
+        }
+        // Step forward over the `.` to the next segment.
+        let dot = next_code(&file.tokens, j)?;
+        j = next_code(&file.tokens, dot)?;
+    }
+    Some((first, chain))
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: count-cast — all crates.
+// ---------------------------------------------------------------------
+
+/// No `as u32` / `as usize` on count-like identifiers, in any crate:
+/// a silently truncating cast of a `count`/`card`/`sel`/`freq` value
+/// corrupts every downstream estimate. Use `u32::try_from` or
+/// `axqa_xml::dense_id`.
+pub struct CountCast;
+
+impl Rule for CountCast {
+    fn id(&self) -> &'static str {
+        "count-cast"
+    }
+    fn describe(&self) -> &'static str {
+        "no `as u32`/`as usize` on count-like identifiers (count/card/sel/freq); use try_from/dense_id"
+    }
+    fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        for (i, token) in file.tokens.iter().enumerate() {
+            if file.in_test[i] || token.kind != TokenKind::Ident || token.text(&file.text) != "as" {
+                continue;
+            }
+            let Some(target) = next_code(&file.tokens, i) else {
+                continue;
+            };
+            let target_text = file.tokens[target].text(&file.text);
+            if target_text != "u32" && target_text != "usize" {
+                continue;
+            }
+            let Some(prev) = prev_code(&file.tokens, i) else {
+                continue;
+            };
+            let Some((_, chain)) = ident_chain(file, prev) else {
+                continue;
+            };
+            // Judge the final segment (the field/binding actually being
+            // cast) so receiver chains don't contribute — `self` must
+            // not match `sel`.
+            let last = chain.rsplit('.').next().unwrap_or_default();
+            let lower = last.to_ascii_lowercase();
+            if COUNT_NEEDLES.iter().any(|needle| lower.contains(needle)) {
+                findings.push(finding(
+                    self.id(),
+                    file,
+                    token,
+                    format!(
+                        "`{chain} as {target_text}` — lossy cast of a count-like \
+                         quantity (use try_from/dense_id)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: float-eq — the distance crate only.
+// ---------------------------------------------------------------------
+
+/// No float `==`/`!=` in `crates/distance/`: the error-metric crate
+/// compares with tolerances, never exactly.
+pub struct FloatEq;
+
+/// True for number tokens of float type: a decimal point, an exponent,
+/// or an explicit `f32`/`f64` suffix (radix-prefixed integers excluded).
+fn is_float_literal(text: &str) -> bool {
+    if text.ends_with("f64") || text.ends_with("f32") {
+        return true;
+    }
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.') || text.contains('e') || text.contains('E')
+}
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float-eq"
+    }
+    fn describe(&self) -> &'static str {
+        "no float `==`/`!=` in crates/distance/ (compare with a tolerance)"
+    }
+    fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if file.crate_name != "axqa-distance" {
+            return;
+        }
+        for (i, token) in file.tokens.iter().enumerate() {
+            if file.in_test[i] || token.kind != TokenKind::Punct {
+                continue;
+            }
+            let op = token.text(&file.text);
+            if op != "==" && op != "!=" {
+                continue;
+            }
+            let float_side = [prev_code(&file.tokens, i), next_code(&file.tokens, i)]
+                .into_iter()
+                .flatten()
+                .any(|j| {
+                    file.tokens[j].kind == TokenKind::Number
+                        && is_float_literal(file.tokens[j].text(&file.text))
+                });
+            if float_side {
+                findings.push(finding(
+                    self.id(),
+                    file,
+                    token,
+                    "float equality comparison in distance/ (compare with a tolerance)".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: paper-doc — core build/eval entry points cite the paper.
+// ---------------------------------------------------------------------
+
+/// Every plain `pub fn` in `core/src/build.rs` and `core/src/eval.rs`
+/// carries a doc comment citing the paper (a `§` section or a `Fig.`
+/// reference), so the algorithmic surface stays anchored to its source.
+pub struct PaperDoc;
+
+impl Rule for PaperDoc {
+    fn id(&self) -> &'static str {
+        "paper-doc"
+    }
+    fn describe(&self) -> &'static str {
+        "pub fns in core/src/{build,eval}.rs cite the paper (§ or Fig.) in their doc comment"
+    }
+    fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.rel.ends_with("core/src/build.rs") && !file.rel.ends_with("core/src/eval.rs") {
+            return;
+        }
+        for (i, token) in file.tokens.iter().enumerate() {
+            if file.in_test[i] || token.kind != TokenKind::Ident || token.text(&file.text) != "pub"
+            {
+                continue;
+            }
+            // Plain `pub` only: `pub(crate)` etc. is not public API.
+            let Some(mut j) = next_code(&file.tokens, i) else {
+                continue;
+            };
+            if file.tokens[j].text(&file.text) == "(" {
+                continue;
+            }
+            // Skip qualifiers up to `fn`; bail on non-fn items.
+            let mut is_fn = false;
+            for _ in 0..4 {
+                let text = file.tokens[j].text(&file.text);
+                if text == "fn" {
+                    is_fn = true;
+                    break;
+                }
+                if !matches!(text, "const" | "unsafe" | "async" | "extern")
+                    && file.tokens[j].kind != TokenKind::Literal
+                {
+                    break;
+                }
+                match next_code(&file.tokens, j) {
+                    Some(next) => j = next,
+                    None => break,
+                }
+            }
+            if !is_fn {
+                continue;
+            }
+            if !preceding_docs_cite_paper(file, i) {
+                findings.push(finding(
+                    self.id(),
+                    file,
+                    token,
+                    "pub fn without a paper citation (§ or Fig.) in its doc comment".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Walks backwards from the `pub` token over attributes and doc
+/// comments; true if any doc comment in that run cites the paper.
+fn preceding_docs_cite_paper(file: &SourceFile, pub_index: usize) -> bool {
+    let mut j = pub_index;
+    while j > 0 {
+        j -= 1;
+        let token = &file.tokens[j];
+        match token.kind {
+            TokenKind::DocComment => {
+                let text = token.text(&file.text);
+                if text.contains('§') || text.contains("Fig.") {
+                    return true;
+                }
+            }
+            TokenKind::Comment => {}
+            _ => {
+                // Attributes between docs and the fn are fine: skip one
+                // `#[…]` group (we're walking backwards, so from `]`
+                // back to `#`).
+                if token.text(&file.text) == "]" {
+                    let mut depth = 0i64;
+                    while j > 0 {
+                        match file.tokens[j].text(&file.text) {
+                            "]" => depth += 1,
+                            "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j -= 1;
+                    }
+                    // Expect the `#` before the `[`.
+                    if j > 0 && file.tokens[j - 1].text(&file.text) == "#" {
+                        j -= 1;
+                        continue;
+                    }
+                    return false;
+                }
+                return false;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: no-unwrap — everywhere outside tests.
+// ---------------------------------------------------------------------
+
+/// No `.unwrap()` in non-test code, anywhere: library code returns
+/// typed errors, binaries match explicitly.
+pub struct NoUnwrap;
+
+impl Rule for NoUnwrap {
+    fn id(&self) -> &'static str {
+        "no-unwrap"
+    }
+    fn describe(&self) -> &'static str {
+        "no `.unwrap()` outside #[cfg(test)] (return an error or match explicitly)"
+    }
+    fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        for (i, token) in file.tokens.iter().enumerate() {
+            if file.in_test[i]
+                || token.kind != TokenKind::Ident
+                || token.text(&file.text) != "unwrap"
+            {
+                continue;
+            }
+            let dotted =
+                prev_code(&file.tokens, i).is_some_and(|j| file.tokens[j].text(&file.text) == ".");
+            let called = next_code(&file.tokens, i)
+                .is_some_and(|j| file.tokens[j].text(&file.text) == "(")
+                && next_code(&file.tokens, i)
+                    .and_then(|j| next_code(&file.tokens, j))
+                    .is_some_and(|j| file.tokens[j].text(&file.text) == ")");
+            if dotted && called {
+                findings.push(finding(
+                    self.id(),
+                    file,
+                    token,
+                    "`.unwrap()` in non-test code (return an error or match explicitly)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: forbidden-api — print macros in libraries, process::exit
+// anywhere.
+// ---------------------------------------------------------------------
+
+/// Library code must not print: diagnostics route through return values
+/// (`Result`, rendered `String`s) so callers decide what reaches a
+/// terminal. Binaries may print, but nothing may call
+/// `std::process::exit` — `main` returns `ExitCode`, and `exit` skips
+/// destructors mid-unwind.
+pub struct ForbiddenApi;
+
+const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
+
+impl Rule for ForbiddenApi {
+    fn id(&self) -> &'static str {
+        "forbidden-api"
+    }
+    fn describe(&self) -> &'static str {
+        "no print macros in library code; no std::process::exit anywhere (return ExitCode)"
+    }
+    fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        for (i, token) in file.tokens.iter().enumerate() {
+            if file.in_test[i] || token.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = token.text(&file.text);
+            if !file.is_bin && PRINT_MACROS.contains(&text) {
+                let is_macro = next_code(&file.tokens, i)
+                    .is_some_and(|j| file.tokens[j].text(&file.text) == "!");
+                // `writeln!` etc. take a target; only the bare stdout
+                // macros are banned. A path prefix (`std::println!`)
+                // still ends on this ident, so check we are not a path
+                // *segment* prefix like `print` in `print_tree`.
+                if is_macro {
+                    findings.push(finding(
+                        self.id(),
+                        file,
+                        token,
+                        format!(
+                            "`{text}!` in library code — route diagnostics through \
+                             return values (render to a String or return Result)"
+                        ),
+                    ));
+                }
+            }
+            if text == "exit" && path_is_process_exit(file, i) {
+                let called = next_code(&file.tokens, i)
+                    .is_some_and(|j| file.tokens[j].text(&file.text) == "(");
+                if called {
+                    findings.push(finding(
+                        self.id(),
+                        file,
+                        token,
+                        "`std::process::exit` — return ExitCode/Result from main \
+                         instead (exit skips destructors)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// True when the `exit` ident at `i` is reached via a `process::`
+/// path segment (`std::process::exit`, `process::exit`).
+fn path_is_process_exit(file: &SourceFile, i: usize) -> bool {
+    let Some(sep) = prev_code(&file.tokens, i) else {
+        return false;
+    };
+    if file.tokens[sep].text(&file.text) != "::" {
+        return false;
+    }
+    prev_code(&file.tokens, sep).is_some_and(|j| file.tokens[j].text(&file.text) == "process")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(
+        rule: &dyn Rule,
+        rel: &str,
+        crate_name: &str,
+        is_bin: bool,
+        src: &str,
+    ) -> Vec<Finding> {
+        let file = SourceFile::new(rel.into(), crate_name.into(), is_bin, src.into());
+        let mut findings = Vec::new();
+        rule.check_file(&file, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn count_cast_flags_direct_and_multiline_casts() {
+        let src = "fn f(elem_count: u64) -> u32 {\n    let x = elem_count as u32;\n    x\n}\n";
+        let v = check(
+            &CountCast,
+            "crates/core/src/cluster.rs",
+            "axqa-core",
+            false,
+            src,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("lossy cast"));
+        // The line-based scanner missed casts split across lines.
+        let multiline = "fn f(c: C) -> u32 { let x = c.elem_count\n        as u32; x }\n";
+        let v = check(
+            &CountCast,
+            "crates/core/src/cluster.rs",
+            "axqa-core",
+            false,
+            multiline,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("c.elem_count as u32"));
+    }
+
+    #[test]
+    fn count_cast_ignores_strings_self_and_tests() {
+        let in_string = "fn f() -> &'static str { \"count as u32\" }\n";
+        assert!(check(&CountCast, "a.rs", "axqa-core", false, in_string).is_empty());
+        let receiver = "fn f(s: &S) -> usize { s.selector.len as usize }\n";
+        assert!(check(&CountCast, "a.rs", "axqa-core", false, receiver).is_empty());
+        let self_ok = "fn f(&self) -> usize { self.width as usize }\n";
+        assert!(check(&CountCast, "a.rs", "axqa-core", false, self_ok).is_empty());
+        let test_code =
+            "#[cfg(test)]\nmod tests {\n fn t(count: usize) { let _ = count as u32; }\n}\n";
+        assert!(check(&CountCast, "a.rs", "axqa-core", false, test_code).is_empty());
+    }
+
+    #[test]
+    fn float_eq_only_in_distance_and_only_floats() {
+        let code = "fn f(x: f64) -> bool { x == 0.5 }\n";
+        assert_eq!(
+            check(
+                &FloatEq,
+                "crates/distance/src/esd.rs",
+                "axqa-distance",
+                false,
+                code
+            )
+            .len(),
+            1
+        );
+        assert!(check(
+            &FloatEq,
+            "crates/core/src/eval.rs",
+            "axqa-core",
+            false,
+            code
+        )
+        .is_empty());
+        let ints = "fn f(x: u32) -> bool { x == 5 }\n";
+        assert!(check(
+            &FloatEq,
+            "crates/distance/src/esd.rs",
+            "axqa-distance",
+            false,
+            ints
+        )
+        .is_empty());
+        let suffixed = "fn f(x: f32) -> bool { x != 1f32 }\n";
+        assert_eq!(
+            check(
+                &FloatEq,
+                "crates/distance/src/esd.rs",
+                "axqa-distance",
+                false,
+                suffixed
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn paper_doc_requires_citation_on_build_and_eval() {
+        let undocumented = "pub fn ts_build() {}\n";
+        assert_eq!(
+            check(
+                &PaperDoc,
+                "crates/core/src/build.rs",
+                "axqa-core",
+                false,
+                undocumented
+            )
+            .len(),
+            1
+        );
+        let documented = "/// TSBUILD (Fig. 5).\npub fn ts_build() {}\n";
+        assert!(check(
+            &PaperDoc,
+            "crates/core/src/build.rs",
+            "axqa-core",
+            false,
+            documented
+        )
+        .is_empty());
+        let section = "/// See §4.3.\n#[inline]\npub fn eval() {}\n";
+        assert!(check(
+            &PaperDoc,
+            "crates/core/src/eval.rs",
+            "axqa-core",
+            false,
+            section
+        )
+        .is_empty());
+        // Other files are exempt; pub(crate) and pub struct are exempt.
+        assert!(check(
+            &PaperDoc,
+            "crates/xml/src/tree.rs",
+            "axqa-xml",
+            false,
+            undocumented
+        )
+        .is_empty());
+        let scoped = "pub(crate) fn helper() {}\npub struct S;\n";
+        assert!(check(
+            &PaperDoc,
+            "crates/core/src/build.rs",
+            "axqa-core",
+            false,
+            scoped
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn g(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert_eq!(check(&NoUnwrap, "a.rs", "axqa-core", false, src).len(), 1);
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }\n";
+        assert!(check(&NoUnwrap, "a.rs", "axqa-core", false, test_src).is_empty());
+        // `unwrap_or_else` is not `.unwrap()`.
+        let or_else = "fn g(o: Option<u32>) -> u32 { o.unwrap_or_else(|| 0) }\n";
+        assert!(check(&NoUnwrap, "a.rs", "axqa-core", false, or_else).is_empty());
+    }
+
+    #[test]
+    fn forbidden_api_prints_in_lib_exit_everywhere() {
+        let lib_print = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(
+            check(
+                &ForbiddenApi,
+                "crates/harness/src/lib.rs",
+                "axqa-harness",
+                false,
+                lib_print
+            )
+            .len(),
+            1
+        );
+        // Binaries may print…
+        assert!(check(
+            &ForbiddenApi,
+            "crates/cli/src/main.rs",
+            "axqa-cli",
+            true,
+            lib_print
+        )
+        .is_empty());
+        // …but nothing may exit.
+        let exits = "fn f() { std::process::exit(2); }\n";
+        assert_eq!(
+            check(
+                &ForbiddenApi,
+                "crates/cli/src/main.rs",
+                "axqa-cli",
+                true,
+                exits
+            )
+            .len(),
+            1
+        );
+        let bare = "fn f() { process::exit(2); }\n";
+        assert_eq!(
+            check(
+                &ForbiddenApi,
+                "crates/cli/src/main.rs",
+                "axqa-cli",
+                true,
+                bare
+            )
+            .len(),
+            1
+        );
+        // writeln!/print_tree idents are fine; exit as a plain ident is fine.
+        let ok = "fn print_tree(w: &mut W) { writeln!(w, \"x\").ok(); exit_state(); }\n";
+        assert!(check(
+            &ForbiddenApi,
+            "crates/harness/src/lib.rs",
+            "axqa-harness",
+            false,
+            ok
+        )
+        .is_empty());
+    }
+}

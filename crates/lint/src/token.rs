@@ -1,0 +1,627 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The lint rules need to see code the way the compiler does — `as u32`
+//! inside a string literal is not a cast, a cast split over two lines is
+//! still a cast — but they do not need types or a full grammar. This
+//! tokenizer produces a flat token stream good enough for token-pattern
+//! rules: identifiers, literals (strings, raw strings, byte strings,
+//! char literals, numbers), doc and plain comments, lifetimes, and
+//! punctuation (with the handful of two/three-character operators the
+//! rules care about combined into single tokens, so `!=` never reads as
+//! `!` `=`).
+//!
+//! [`test_mask`] additionally marks the tokens inside `#[cfg(test)]`-
+//! gated items, by bracket/brace matching on tokens rather than by line
+//! heuristics, so rules can skip test code reliably.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`count`, `as`, `pub`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (`42`, `1.5e-3`, `0xFF_u32`).
+    Number,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// `///` or `//!` line doc comment, `/** */` or `/*! */` block doc.
+    DocComment,
+    /// Plain `//` or `/* */` comment.
+    Comment,
+    /// Operator or delimiter, possibly multi-character (`==`, `::`).
+    Punct,
+}
+
+/// One token: kind plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Multi-character operators recognized as single tokens, longest first.
+const COMPOUND_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes `source`, keeping comments (rules need doc comments) and
+/// dropping only whitespace. Unterminated literals/comments consume the
+/// rest of the input rather than erroring: the linter must degrade
+/// gracefully on code rustc would reject anyway.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    source: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.bump(),
+                b'\n' => {
+                    self.line = self.line.saturating_add(1);
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let doc = matches!(self.peek(2), Some(b'/') | Some(b'!'))
+                        && self.peek(3) != Some(b'/'); // `////…` is a plain rule
+                    self.consume_until_newline();
+                    self.push(
+                        if doc {
+                            TokenKind::DocComment
+                        } else {
+                            TokenKind::Comment
+                        },
+                        start,
+                        line,
+                    );
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    let doc = matches!(self.peek(2), Some(b'*') | Some(b'!'))
+                        && self.peek(3) != Some(b'/'); // `/**/` is empty, not doc
+                    self.consume_block_comment();
+                    self.push(
+                        if doc {
+                            TokenKind::DocComment
+                        } else {
+                            TokenKind::Comment
+                        },
+                        start,
+                        line,
+                    );
+                }
+                b'"' => {
+                    self.consume_string();
+                    self.push(TokenKind::Literal, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                b'0'..=b'9' => {
+                    self.consume_number(start);
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() => {
+                    self.ident_or_prefixed_literal(start, line)
+                }
+                _ => {
+                    let rest = &self.source[self.pos..];
+                    let compound = COMPOUND_PUNCT.iter().find(|op| rest.starts_with(**op));
+                    match compound {
+                        Some(op) => {
+                            for _ in 0..op.len() {
+                                self.bump();
+                            }
+                        }
+                        None => self.bump(),
+                    }
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos.saturating_add(ahead)).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos = self.pos.saturating_add(1);
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn consume_until_newline(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+    }
+
+    /// `/* … */`, nesting like rustc.
+    fn consume_block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth = depth.saturating_add(1);
+                    self.bump();
+                    self.bump();
+                }
+                (b'*', Some(b'/')) => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                    self.bump();
+                }
+                (b'\n', _) => {
+                    self.line = self.line.saturating_add(1);
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A `"…"` literal with escapes (the opening quote is current).
+    fn consume_string(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                b'\n' => {
+                    self.line = self.line.saturating_add(1);
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Raw string `r"…"` / `r#"…"#…` with `hashes` leading `#`s; the
+    /// caller has consumed the prefix up to and including the opening
+    /// quote.
+    fn consume_raw_string(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen = seen.saturating_add(1);
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                b'\n' => {
+                    self.line = self.line.saturating_add(1);
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime); the `'`
+    /// is current.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        let first = self.peek(1);
+        let second = self.peek(2);
+        let is_lifetime = match first {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => second != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, start, line);
+            return;
+        }
+        // Char literal: '\n', 'x', '\'', '\u{1F600}'.
+        self.bump(); // '
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // stray quote: don't eat the file
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// Numeric literal: integer/float with `_`, radix prefixes, type
+    /// suffixes and exponents. Stops before `..` so ranges lex cleanly.
+    fn consume_number(&mut self, start: usize) {
+        while let Some(c) = self.peek(0) {
+            let so_far = &self.source[start..self.pos];
+            let radix_prefixed =
+                so_far.starts_with("0x") || so_far.starts_with("0o") || so_far.starts_with("0b");
+            if c == b'.' {
+                // `1..n` is a range, `1.max(2)` a method call; a dot is
+                // part of the number only when followed by a digit.
+                if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else if (c == b'+' || c == b'-')
+                && matches!(
+                    self.bytes.get(self.pos.wrapping_sub(1)),
+                    Some(b'e') | Some(b'E')
+                )
+                && !radix_prefixed
+            {
+                self.bump(); // exponent sign in 1.5e-3
+            } else if c == b'_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier, or a literal with an identifier-like prefix
+    /// (`r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self, start: usize, line: u32) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.bump();
+        }
+        let ident = &self.source[start..self.pos];
+        match (ident, self.peek(0)) {
+            ("r" | "br" | "rb", Some(b'"')) => {
+                self.bump();
+                self.consume_raw_string(0);
+                self.push(TokenKind::Literal, start, line);
+            }
+            ("r" | "br" | "rb", Some(b'#')) => {
+                let mut hashes = 0usize;
+                while self.peek(0) == Some(b'#') {
+                    self.bump();
+                    hashes = hashes.saturating_add(1);
+                }
+                if self.peek(0) == Some(b'"') {
+                    self.bump();
+                    self.consume_raw_string(hashes);
+                    self.push(TokenKind::Literal, start, line);
+                } else if hashes == 1 && ident == "r" {
+                    // raw identifier r#type: the `#` is consumed, eat
+                    // the identifier body.
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                    {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                } else {
+                    self.push(TokenKind::Ident, start, line);
+                }
+            }
+            ("b", Some(b'"')) => {
+                self.bump();
+                self.consume_string_body_as_bytes();
+                self.push(TokenKind::Literal, start, line);
+            }
+            ("b", Some(b'\'')) => {
+                self.bump(); // '
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'\\' => {
+                            self.bump();
+                            self.bump();
+                        }
+                        b'\'' => {
+                            self.bump();
+                            break;
+                        }
+                        b'\n' => break,
+                        _ => self.bump(),
+                    }
+                }
+                self.push(TokenKind::Literal, start, line);
+            }
+            _ => self.push(TokenKind::Ident, start, line),
+        }
+    }
+
+    fn consume_string_body_as_bytes(&mut self) {
+        // b"…" shares the escape grammar of "…"; the opening quote is
+        // current.
+        self.consume_string();
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]`-gated items.
+///
+/// For every `#[cfg(test)]` attribute the mask covers the attribute
+/// itself, any further attributes, and the gated item — up to the close
+/// of its first brace block, or to a top-level `;` for item forms
+/// without a body (`#[cfg(test)] use …;`).
+pub fn test_mask(source: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test_attr(source, tokens, i) {
+            let mut j = after_attr;
+            // Skip further attributes between #[cfg(test)] and the item.
+            while j < tokens.len() && tokens[j].text(source) == "#" {
+                j = skip_attr(source, tokens, j);
+            }
+            // The gated item: ends at the close of the first `{…}`
+            // block, or at a `;` seen before any brace.
+            let mut depth = 0i64;
+            let mut opened = false;
+            while j < tokens.len() {
+                let text = tokens[j].text(source);
+                if tokens[j].kind == TokenKind::Punct {
+                    match text {
+                        "{" => {
+                            depth = depth.saturating_add(1);
+                            opened = true;
+                        }
+                        "}" => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth <= 0 {
+                                break;
+                            }
+                        }
+                        ";" if !opened && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j = j.saturating_add(1);
+            }
+            for slot in mask
+                .iter_mut()
+                .take((j.saturating_add(1)).min(tokens.len()))
+                .skip(i)
+            {
+                *slot = true;
+            }
+            i = j.saturating_add(1);
+        } else {
+            i = i.saturating_add(1);
+        }
+    }
+    mask
+}
+
+/// If tokens at `i` spell `#[cfg(test)]`, returns the index one past the
+/// closing `]`.
+fn match_cfg_test_attr(source: &str, tokens: &[Token], i: usize) -> Option<usize> {
+    let expected = ["#", "[", "cfg", "(", "test", ")", "]"];
+    for (offset, want) in expected.iter().enumerate() {
+        let token = tokens.get(i.saturating_add(offset))?;
+        if token.text(source) != *want {
+            return None;
+        }
+    }
+    Some(i.saturating_add(expected.len()))
+}
+
+/// Skips one `#[…]` attribute starting at the `#`; returns the index one
+/// past the closing `]` (bracket-depth matched).
+fn skip_attr(source: &str, tokens: &[Token], i: usize) -> usize {
+    let mut j = i.saturating_add(1);
+    if tokens.get(j).map(|t| t.text(source)) != Some("[") {
+        return j;
+    }
+    let mut depth = 0i64;
+    while j < tokens.len() {
+        match tokens[j].text(source) {
+            "[" => depth = depth.saturating_add(1),
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j.saturating_add(1);
+                }
+            }
+            _ => {}
+        }
+        j = j.saturating_add(1);
+    }
+    j
+}
+
+/// The previous non-comment token index before `i`, if any.
+pub fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j = j.saturating_sub(1);
+        if !matches!(tokens[j].kind, TokenKind::Comment | TokenKind::DocComment) {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// The next non-comment token index after `i`, if any.
+pub fn next_code(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i.saturating_add(1);
+    while j < tokens.len() {
+        if !matches!(tokens[j].kind, TokenKind::Comment | TokenKind::DocComment) {
+            return Some(j);
+        }
+        j = j.saturating_add(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(source: &str) -> Vec<(TokenKind, String)> {
+        tokenize(source)
+            .iter()
+            .map(|t| (t.kind, t.text(source).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r#"let s = "x as u32 // not code"; // as u32
+        let r = r"raw as u32"; /* as u32 */"#;
+        let idents: Vec<String> = texts(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_literals() {
+        let src = r##"let a = r#"he said "as u32""#; let b = b"bytes"; let c = b'x';"##;
+        let literals: Vec<String> = texts(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(literals.len(), 3, "{literals:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let kinds: Vec<TokenKind> = tokenize(src).iter().map(|t| t.kind).collect();
+        let lifetimes = kinds.iter().filter(|k| **k == TokenKind::Lifetime).count();
+        let literals = kinds.iter().filter(|k| **k == TokenKind::Literal).count();
+        assert_eq!((lifetimes, literals), (2, 1));
+    }
+
+    #[test]
+    fn compound_punct_and_numbers() {
+        let src = "if a != 1.5e-3 && b == 0.5f64 { c ..= d; e :: f }";
+        let t = texts(src);
+        assert!(t.contains(&(TokenKind::Punct, "!=".into())));
+        assert!(t.contains(&(TokenKind::Punct, "==".into())));
+        assert!(t.contains(&(TokenKind::Number, "1.5e-3".into())));
+        assert!(t.contains(&(TokenKind::Number, "0.5f64".into())));
+        assert!(t.contains(&(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn ranges_lex_as_ranges() {
+        let src = "for i in 0..10 {}";
+        let t = texts(src);
+        assert!(t.contains(&(TokenKind::Number, "0".into())));
+        assert!(t.contains(&(TokenKind::Punct, "..".into())));
+        assert!(t.contains(&(TokenKind::Number, "10".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\nb";
+        let tokens = tokenize(src);
+        let b = tokens.last().expect("tokens");
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn cfg_test_masking_covers_items_and_statements() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let tokens = tokenize(src);
+        let mask = test_mask(src, &tokens);
+        for (token, masked) in tokens.iter().zip(&mask) {
+            let text = token.text(src);
+            if text == "unwrap" {
+                assert!(*masked);
+            }
+            if text == "live" || text == "live2" {
+                assert!(!*masked, "{text} wrongly masked");
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_test_masking_handles_semicolon_items_and_extra_attrs() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n#[cfg(test)]\n#[allow(dead_code)]\nfn t() { y.unwrap() }\nfn live2() {}";
+        let tokens = tokenize(src);
+        let mask = test_mask(src, &tokens);
+        for (token, masked) in tokens.iter().zip(&mask) {
+            let text = token.text(src);
+            if text == "bar" || text == "unwrap" || text == "dead_code" {
+                assert!(*masked, "{text} not masked");
+            }
+            if text == "live" || text == "live2" {
+                assert!(!*masked, "{text} wrongly masked");
+            }
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let src = "/// doc §4\n//! inner\n// plain\n/** block doc */\nfn f() {}";
+        let kinds: Vec<TokenKind> = tokenize(src).iter().map(|t| t.kind).collect();
+        let docs = kinds
+            .iter()
+            .filter(|k| **k == TokenKind::DocComment)
+            .count();
+        let plain = kinds.iter().filter(|k| **k == TokenKind::Comment).count();
+        assert_eq!((docs, plain), (3, 1));
+    }
+}

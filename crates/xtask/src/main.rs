@@ -1,368 +1,156 @@
-//! `cargo xtask lint` — repository invariants clippy cannot express.
-//!
-//! The pass walks every library source file (`src/` trees of the
-//! workspace crates plus the umbrella crate, skipping vendored stubs,
-//! tests, benches and examples), strips `#[cfg(test)]` regions, and
-//! enforces four rules (ISSUE tentpole 3; DESIGN.md "Static analysis &
-//! invariants"):
-//!
-//! 1. **No lossy count casts** — `as u32` / `as usize` applied to an
-//!    expression whose trailing identifier mentions `count`, `card`,
-//!    `sel` or `freq` is a lossy conversion of a count-like quantity;
-//!    use `u32::try_from` / [`axqa_xml::dense_id`] instead.
-//! 2. **No float equality in `distance/`** — the error-metric crate must
-//!    compare floats with tolerances, never `==` / `!=`.
-//! 3. **Paper-anchored docs** — every `pub fn` in `core/src/build.rs`
-//!    and `core/src/eval.rs` carries a doc comment citing the paper
-//!    (a `§` section or a `Fig.` reference).
-//! 4. **No `unwrap()` in non-test code** — anywhere in the lib trees.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+//! `cargo xtask` — repository automation.
+//!
+//! The only subcommand is `lint`, a thin CLI over the [`axqa_lint`]
+//! engine (DESIGN.md §8): token-level per-file rules, workspace rules
+//! (crate layering, API-surface snapshot), and the `lint-baseline.toml`
+//! ratchet. The process exits nonzero when any non-baselined
+//! error-severity finding remains.
+//!
+//! ```text
+//! cargo xtask lint [--format text|json] [--out PATH]
+//!                  [--update-baseline] [--update-api-surface]
+//! ```
+//!
+//! `--out PATH` writes the JSON report to PATH regardless of the
+//! chosen display format (CI uploads it as an artifact).
+
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => lint(),
-        Some(other) => {
-            eprintln!("unknown xtask command {other:?}; available: lint");
-            ExitCode::FAILURE
-        }
-        None => {
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::FAILURE
-        }
-    }
+use axqa_lint::engine::{self, UpdateFlags};
+
+const USAGE: &str = "usage: cargo xtask lint [--format text|json] [--out PATH] \
+                     [--update-baseline] [--update-api-surface]";
+
+#[derive(Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let files = collect_lib_sources(&root);
-    if files.is_empty() {
-        eprintln!("xtask lint: no source files found under {}", root.display());
-        return ExitCode::FAILURE;
-    }
-    let mut violations: Vec<String> = Vec::new();
-    for path in &files {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            violations.push(format!("{}: unreadable", path.display()));
-            continue;
-        };
-        let rel = path.strip_prefix(&root).unwrap_or(path);
-        check_file(rel, &text, &mut violations);
-    }
-    if violations.is_empty() {
-        println!("xtask lint: {} files, all invariants hold", files.len());
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            eprintln!("xtask lint: {v}");
-        }
-        eprintln!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
-    }
+#[derive(Debug)]
+struct Args {
+    format: Format,
+    out: Option<String>,
+    update: UpdateFlags,
 }
 
-/// The workspace root: the directory holding the top-level Cargo.toml
-/// with a `[workspace]` table (cargo runs xtask from the root, but be
-/// robust to invocation from a subdirectory).
-fn workspace_root() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return dir;
-            }
-        }
-        if !dir.pop() {
-            return PathBuf::from(".");
-        }
-    }
-}
-
-/// All non-test library sources: `crates/*/src/**/*.rs` (excluding the
-/// vendored stubs and xtask itself) plus the umbrella `src/`.
-fn collect_lib_sources(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    let crates = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates) {
-        for entry in entries.flatten() {
-            let dir = entry.path();
-            if dir.file_name().is_some_and(|n| n == "xtask") {
-                continue;
-            }
-            walk_rs(&dir.join("src"), &mut files);
-        }
-    }
-    walk_rs(&root.join("src"), &mut files);
-    files.sort();
-    files
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        format: Format::Text,
+        out: None,
+        update: UpdateFlags::default(),
     };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            walk_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
+    let mut iter = argv.iter();
+    match iter.next().map(String::as_str) {
+        Some("lint") => {}
+        Some(other) => return Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
     }
-}
-
-fn check_file(rel: &Path, text: &str, violations: &mut Vec<String>) {
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let lines: Vec<&str> = text.lines().collect();
-    let in_test = test_region_mask(&lines);
-    let in_distance = rel_str.contains("distance/src");
-    let needs_paper_docs =
-        rel_str.ends_with("core/src/build.rs") || rel_str.ends_with("core/src/eval.rs");
-
-    let mut doc_block_has_citation = false;
-    for (i, raw) in lines.iter().enumerate() {
-        let lineno = i.saturating_add(1);
-        let code = strip_line_comment(raw);
-        let trimmed = raw.trim_start();
-
-        // Rule 3 bookkeeping: track citations in the pending doc block.
-        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
-            if trimmed.contains('§') || trimmed.contains("Fig.") {
-                doc_block_has_citation = true;
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--format" => {
+                args.format = match iter.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(other) => {
+                        return Err(format!("unknown format `{other}` (text|json)\n{USAGE}"))
+                    }
+                    None => return Err(format!("--format needs a value\n{USAGE}")),
+                };
             }
-            continue;
-        }
-        if needs_paper_docs && !in_test[i] && is_pub_fn(trimmed) {
-            if !doc_block_has_citation {
-                let mut msg = String::new();
-                let _ = write!(
-                    msg,
-                    "{rel_str}:{lineno}: pub fn without a paper citation \
-                     (§ or Fig.) in its doc comment"
+            "--out" => {
+                args.out = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("--out needs a path\n{USAGE}"))?
+                        .clone(),
                 );
-                violations.push(msg);
             }
-            doc_block_has_citation = false;
-        } else if !trimmed.starts_with("#[") && !trimmed.is_empty() && !is_pub_fn(trimmed) {
-            // Any other code line ends the pending doc block.
-            doc_block_has_citation = false;
-        }
-
-        if in_test[i] {
-            continue;
-        }
-
-        // Rule 1: lossy casts of count-like identifiers.
-        for cast in ["as u32", "as usize"] {
-            for pos in find_all(&code, cast) {
-                if let Some(ident) = trailing_identifier(&code[..pos]) {
-                    // Judge the final segment (the field/binding actually
-                    // being cast) so `self.` / receiver chains don't
-                    // contribute — `self` must not match `sel`.
-                    let last = ident.rsplit('.').next().unwrap_or("");
-                    let lower = last.to_ascii_lowercase();
-                    if ["count", "card", "sel", "freq"]
-                        .iter()
-                        .any(|needle| lower.contains(needle))
-                    {
-                        violations.push(format!(
-                            "{rel_str}:{lineno}: `{ident} {cast}` — lossy cast of a \
-                             count-like quantity (use try_from/dense_id)"
-                        ));
-                    }
-                }
-            }
-        }
-
-        // Rule 2: float equality in the distance crate.
-        if in_distance && has_float_equality(&code) {
-            violations.push(format!(
-                "{rel_str}:{lineno}: float equality comparison in distance/ \
-                 (compare with a tolerance)"
-            ));
-        }
-
-        // Rule 4: unwrap() outside test code.
-        if code.contains(".unwrap()") {
-            violations.push(format!(
-                "{rel_str}:{lineno}: `.unwrap()` in non-test code (return an \
-                 error or match explicitly)"
-            ));
+            "--update-baseline" => args.update.baseline = true,
+            "--update-api-surface" => args.update.api_surface = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
+    Ok(args)
 }
 
-/// Marks the lines inside `#[cfg(test)]`-gated items by brace counting
-/// from the attribute to the close of the item it gates.
-fn test_region_mask(lines: &[&str]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0usize;
-    while i < lines.len() {
-        if lines[i].trim_start().starts_with("#[cfg(test)]") {
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                mask[j] = true;
-                for ch in strip_line_comment(lines[j]).chars() {
-                    match ch {
-                        '{' => {
-                            depth = depth.saturating_add(1);
-                            opened = true;
-                        }
-                        '}' => depth = depth.saturating_sub(1),
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j = j.saturating_add(1);
-            }
-            i = j;
-        }
-        i = i.saturating_add(1);
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    let root = engine::workspace_root()?;
+    let outcome = engine::run(&root, args.update)?;
+
+    match args.format {
+        Format::Text => print!("{}", engine::render_text(&outcome)),
+        Format::Json => print!("{}", engine::render_json(&outcome)),
     }
-    mask
-}
-
-/// Drops a trailing `// …` comment (good enough for this codebase: no
-/// string literal here contains `//`).
-fn strip_line_comment(line: &str) -> String {
-    match line.find("//") {
-        Some(pos) => line[..pos].to_string(),
-        None => line.to_string(),
+    if let Some(path) = &args.out {
+        std::fs::write(path, engine::render_json(&outcome))
+            .map_err(|e| format!("write {path}: {e}"))?;
     }
-}
-
-fn is_pub_fn(trimmed: &str) -> bool {
-    trimmed.starts_with("pub fn ")
-        || trimmed.starts_with("pub const fn ")
-        || trimmed.starts_with("pub unsafe fn ")
-}
-
-fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    while let Some(pos) = haystack[start..].find(needle) {
-        let abs = start.saturating_add(pos);
-        out.push(abs);
-        start = abs.saturating_add(needle.len());
+    if outcome.wrote_baseline {
+        println!("wrote {}", axqa_lint::baseline::BASELINE_PATH);
     }
-    out
+    if outcome.wrote_api_surface {
+        println!("wrote {}", axqa_lint::api_surface::SNAPSHOT_PATH);
+    }
+    Ok(outcome.gate_passes())
 }
 
-/// The identifier chain (`a.b_c`, `self.count`) immediately before a
-/// cast, if any.
-fn trailing_identifier(before: &str) -> Option<String> {
-    let trimmed = before.trim_end();
-    let bytes = trimmed.as_bytes();
-    let mut start = bytes.len();
-    while start > 0 {
-        let b = bytes[start.saturating_sub(1)];
-        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
-            start = start.saturating_sub(1);
-        } else {
-            break;
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("xtask: {message}");
+            ExitCode::from(2)
         }
     }
-    let ident = trimmed[start..].trim_matches('.');
-    if ident.is_empty() || ident.chars().all(|c| c.is_ascii_digit() || c == '.') {
-        None
-    } else {
-        Some(ident.to_string())
-    }
-}
-
-/// Detects `==` / `!=` with a float literal on either side, or between
-/// expressions ending in a float-typed accessor — heuristically: any
-/// equality operator whose neighborhood contains a numeric literal with
-/// a decimal point.
-fn has_float_equality(code: &str) -> bool {
-    for op in ["==", "!="] {
-        for pos in find_all(code, op) {
-            // Skip `<=`, `>=`, `!=` handled separately, and `=>`.
-            if op == "==" && pos > 0 {
-                let prev = code.as_bytes()[pos.saturating_sub(1)];
-                if prev == b'<' || prev == b'>' || prev == b'!' || prev == b'=' {
-                    continue;
-                }
-            }
-            let left = trailing_identifier(&code[..pos]);
-            let right_str: String = code[pos.saturating_add(2)..]
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
-                .collect();
-            if is_float_literal(left.as_deref().unwrap_or("")) || is_float_literal(&right_str) {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-fn is_float_literal(token: &str) -> bool {
-    let t = token.trim_end_matches("f64").trim_end_matches("f32");
-    !t.is_empty()
-        && t.contains('.')
-        && t.chars()
-            .all(|c| c.is_ascii_digit() || c == '.' || c == '_')
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn check_str(rel: &str, text: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        check_file(Path::new(rel), text, &mut v);
-        v
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn flags_count_casts_and_unwrap() {
-        let v = check_str(
-            "crates/core/src/cluster.rs",
-            "fn f(elem_count: u64) -> u32 {\n    let x = elem_count as u32;\n    x\n}\n\
-             fn g(o: Option<u32>) -> u32 { o.unwrap() }\n",
-        );
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v[0].contains("lossy cast"));
-        assert!(v[1].contains("unwrap"));
+    fn parses_full_flag_set() {
+        let args = parse_args(&argv(&[
+            "lint",
+            "--format",
+            "json",
+            "--out",
+            "lint-findings.json",
+            "--update-baseline",
+            "--update-api-surface",
+        ]))
+        .unwrap();
+        assert_eq!(args.format, Format::Json);
+        assert_eq!(args.out.as_deref(), Some("lint-findings.json"));
+        assert!(args.update.baseline);
+        assert!(args.update.api_surface);
     }
 
     #[test]
-    fn test_regions_are_exempt() {
-        let v = check_str(
-            "crates/core/src/cluster.rs",
-            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t(count: usize) {\n        \
-             let _ = count as u32;\n        Some(1).unwrap();\n    }\n}\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
+    fn rejects_unknown_input() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--format", "xml"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--nope"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--out"])).is_err());
     }
 
     #[test]
-    fn flags_float_equality_only_in_distance() {
-        let code = "fn f(x: f64) -> bool { x == 0.5 }\n";
-        assert_eq!(check_str("crates/distance/src/esd.rs", code).len(), 1);
-        assert!(check_str("crates/core/src/eval.rs", code).is_empty());
-        // Integer equality in distance/ is fine.
-        let ints = "fn f(x: u32) -> bool { x == 5 }\n";
-        assert!(check_str("crates/distance/src/esd.rs", ints).is_empty());
-    }
-
-    #[test]
-    fn requires_paper_citation_on_build_and_eval_pub_fns() {
-        let undocumented = "pub fn ts_build() {}\n";
-        assert_eq!(check_str("crates/core/src/build.rs", undocumented).len(), 1);
-        let documented = "/// TSBUILD (Fig. 5).\npub fn ts_build() {}\n";
-        assert!(check_str("crates/core/src/build.rs", documented).is_empty());
-        // Other files do not require citations.
-        assert!(check_str("crates/xml/src/tree.rs", undocumented).is_empty());
+    fn defaults_are_text_and_check_only() {
+        let args = parse_args(&argv(&["lint"])).unwrap();
+        assert_eq!(args.format, Format::Text);
+        assert!(args.out.is_none());
+        assert!(!args.update.baseline);
+        assert!(!args.update.api_surface);
     }
 }

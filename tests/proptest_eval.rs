@@ -1,0 +1,331 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
+//! Property tests of the weighted subset-automaton path counting in
+//! `core/src/eval.rs` (`EVALQUERY`, §4.3).
+//!
+//! A brute-force twig enumerator — written here from the paper's
+//! definitions, sharing no code with the engine — walks small random
+//! trees (≤ 30 nodes, depth ≤ 5) and counts nesting-tree occurrences per
+//! query variable: an occurrence of `q` is a pair (valid occurrence of
+//! `parent(q)`, distinct path endpoint), where *distinct* endpoint is the
+//! subset-automaton semantics (an element reachable through several
+//! intermediate nodes of a `//`-path counts once). The oracle is
+//! triangulated against the exact nesting-tree evaluator, and
+//! `eval_query` over a count-stable TreeSketch must reproduce it exactly
+//! (§4.3: on stable synopses the approximation is exact).
+
+use axqa::prelude::*;
+use axqa::query::{Axis, Step};
+use axqa::xml::NodeId;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A random tree: label index and children.
+#[derive(Debug, Clone)]
+struct Tree {
+    label: u8,
+    children: Vec<Tree>,
+}
+
+/// Depth ≤ 5 by construction (4 recursion levels over leaves); size is
+/// hard-capped by [`trim`].
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (0u8..4).prop_map(|label| Tree {
+        label,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        ((0u8..4), prop::collection::vec(inner, 0..4))
+            .prop_map(|(label, children)| Tree { label, children })
+    })
+}
+
+/// Pre-order copy keeping at most `*remaining` nodes (ISSUE bound: the
+/// oracle is exponential-ish, so trees stay ≤ 30 nodes).
+fn trim(tree: &Tree, remaining: &mut usize) -> Option<Tree> {
+    if *remaining == 0 {
+        return None;
+    }
+    *remaining -= 1;
+    let mut children = Vec::new();
+    for child in &tree.children {
+        match trim(child, remaining) {
+            Some(kept) => children.push(kept),
+            None => break,
+        }
+    }
+    Some(Tree {
+        label: tree.label,
+        children,
+    })
+}
+
+fn label_name(index: u8) -> String {
+    format!("l{index}")
+}
+
+fn to_document(tree: &Tree) -> Document {
+    fn add(doc: &mut Document, parent: NodeId, tree: &Tree) {
+        let node = doc.add_child_named(parent, &label_name(tree.label));
+        for child in &tree.children {
+            add(doc, node, child);
+        }
+    }
+    let mut doc = Document::new(&label_name(tree.label));
+    let root = doc.root();
+    for child in &tree.children {
+        add(&mut doc, root, child);
+    }
+    doc
+}
+
+/// One random query edge: (parent choice, steps as (descendant?,
+/// label), optional?).
+type RandomEdge = (usize, Vec<(bool, u8)>, bool);
+
+/// A random twig query over the same label pool.
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    edges: Vec<RandomEdge>,
+}
+
+fn query_strategy() -> impl Strategy<Value = RandomQuery> {
+    prop::collection::vec(
+        (
+            any::<usize>(),
+            prop::collection::vec((any::<bool>(), 0u8..4), 1..3),
+            any::<bool>(),
+        ),
+        1..4,
+    )
+    .prop_map(|edges| RandomQuery { edges })
+}
+
+fn to_twig(random: &RandomQuery) -> TwigQuery {
+    let mut query = TwigQuery::new();
+    let mut vars = vec![QVar::ROOT];
+    for (parent_pick, steps, optional) in &random.edges {
+        let parent = vars[parent_pick % vars.len()];
+        let path = PathExpr::new(
+            steps
+                .iter()
+                .map(|&(descendant, label)| {
+                    Step::new(
+                        if descendant {
+                            Axis::Descendant
+                        } else {
+                            Axis::Child
+                        },
+                        label_name(label),
+                    )
+                })
+                .collect(),
+        );
+        let var = if *optional {
+            query.add_optional(parent, path)
+        } else {
+            query.add(parent, path)
+        };
+        vars.push(var);
+    }
+    query
+}
+
+// ---------------------------------------------------------------------
+// Brute-force oracle
+// ---------------------------------------------------------------------
+
+/// Distinct endpoints of `path` starting from `from`: the frontier of a
+/// step-by-step subset walk. An endpoint reachable through several
+/// intermediate nodes appears once (subset-automaton semantics).
+fn endpoints(doc: &Document, from: NodeId, path: &PathExpr) -> BTreeSet<NodeId> {
+    fn descendants(doc: &Document, node: NodeId, label: &str, out: &mut BTreeSet<NodeId>) {
+        for child in doc.children(node) {
+            if doc.label_name(child) == label {
+                out.insert(child);
+            }
+            descendants(doc, child, label, out);
+        }
+    }
+    let mut frontier = BTreeSet::from([from]);
+    for step in &path.steps {
+        let mut next = BTreeSet::new();
+        for &context in &frontier {
+            match step.axis {
+                Axis::Child => {
+                    for child in doc.children(context) {
+                        if doc.label_name(child) == step.label {
+                            next.insert(child);
+                        }
+                    }
+                }
+                Axis::Descendant => descendants(doc, context, &step.label, &mut next),
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+/// Whether binding `var` to `node` can be extended to all non-optional
+/// child variables (recursively). Memoized on `(var, node)`; the relation
+/// is acyclic because child variables are strictly larger.
+fn is_valid(
+    doc: &Document,
+    query: &TwigQuery,
+    var: QVar,
+    node: NodeId,
+    memo: &mut BTreeMap<(u32, u32), bool>,
+) -> bool {
+    if let Some(&known) = memo.get(&(var.0, node.0)) {
+        return known;
+    }
+    let mut valid = true;
+    for child_var in query.children(var) {
+        let child = query.node(child_var);
+        if child.optional {
+            continue;
+        }
+        let extensible = endpoints(doc, node, &child.path)
+            .into_iter()
+            .any(|endpoint| is_valid(doc, query, child_var, endpoint, memo));
+        if !extensible {
+            valid = false;
+            break;
+        }
+    }
+    memo.insert((var.0, node.0), valid);
+    valid
+}
+
+/// Brute-force nesting-tree occurrence counts per variable, or `None`
+/// when the twig has no complete match (some effectively-required
+/// variable is empty — exactly when the root binding is not valid).
+fn brute_force_counts(doc: &Document, query: &TwigQuery) -> Option<Vec<u64>> {
+    let mut memo = BTreeMap::new();
+    if !is_valid(doc, query, QVar::ROOT, doc.root(), &mut memo) {
+        return None;
+    }
+    // occ[q][u] — number of nesting-tree occurrences of variable q at
+    // document node u (one per valid parent occurrence and endpoint).
+    let mut occ: Vec<BTreeMap<NodeId, u64>> = vec![BTreeMap::new(); query.num_vars()];
+    occ[0].insert(doc.root(), 1);
+    for var in query.vars() {
+        for child_var in query.children(var) {
+            let path = query.node(child_var).path.clone();
+            let parents: Vec<(NodeId, u64)> = occ[var.index()]
+                .iter()
+                .map(|(&node, &count)| (node, count))
+                .collect();
+            for (parent_node, parent_count) in parents {
+                for endpoint in endpoints(doc, parent_node, &path) {
+                    if is_valid(doc, query, child_var, endpoint, &mut memo) {
+                        *occ[child_var.index()].entry(endpoint).or_insert(0) += parent_count;
+                    }
+                }
+            }
+        }
+    }
+    Some(occ.iter().map(|per_node| per_node.values().sum()).collect())
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The oracle agrees with the exact nesting-tree evaluator: same
+    // emptiness verdict, same per-variable occurrence counts.
+    #[test]
+    fn brute_force_matches_exact_nesting_tree(
+        tree in tree_strategy(),
+        random_query in query_strategy(),
+    ) {
+        let doc = to_document(&trim(&tree, &mut 30).unwrap());
+        let query = to_twig(&random_query);
+        let index = DocIndex::build(&doc);
+        let exact = evaluate(&doc, &index, &query);
+        let brute = brute_force_counts(&doc, &query);
+        prop_assert_eq!(
+            exact.is_some(),
+            brute.is_some(),
+            "emptiness mismatch for {}", query
+        );
+        if let (Some(nt), Some(counts)) = (exact, brute) {
+            for var in query.vars() {
+                prop_assert_eq!(
+                    nt.bindings(var).len() as u64,
+                    counts[var.index()],
+                    "var {} of {}", var, query
+                );
+            }
+        }
+    }
+
+    // `eval_query` over a count-stable TreeSketch reproduces the
+    // brute-force counts exactly (§4.3): the weighted path counting
+    // collapses to integer occurrence counts when every cluster is
+    // homogeneous.
+    #[test]
+    fn eval_query_is_exact_against_brute_force(
+        tree in tree_strategy(),
+        random_query in query_strategy(),
+    ) {
+        let doc = to_document(&trim(&tree, &mut 30).unwrap());
+        let query = to_twig(&random_query);
+        let sketch = TreeSketch::from_stable(&build_stable(&doc));
+        let result = eval_query(&sketch, &query, &EvalConfig::default());
+        let brute = brute_force_counts(&doc, &query);
+        prop_assert_eq!(
+            result.is_some(),
+            brute.is_some(),
+            "emptiness mismatch for {}", query
+        );
+        if let (Some(answer), Some(counts)) = (result, brute) {
+            for var in query.vars() {
+                let exact = counts[var.index()] as f64;
+                let estimate = answer.estimated_bindings(var);
+                prop_assert!(
+                    (exact - estimate).abs() <= 1e-6 * exact.max(1.0),
+                    "var {}: exact {} vs estimate {} for {}",
+                    var, exact, estimate, query
+                );
+            }
+        }
+    }
+}
+
+/// The diamond case the subset-automaton semantics exists for: with
+/// `<r><a><a><k/></a></a></r>`, the path `//a//k` reaches `k` through
+/// both `a` elements, yet `k` binds once — path counting must aggregate
+/// per distinct endpoint, not per path.
+#[test]
+fn nested_descendants_count_endpoints_once() {
+    let doc = parse_document("<r><a><a><k/></a></a></r>").unwrap();
+    let mut query = TwigQuery::new();
+    let path = PathExpr::new(vec![
+        Step::new(Axis::Descendant, "a"),
+        Step::new(Axis::Descendant, "k"),
+    ]);
+    query.add(QVar::ROOT, path);
+
+    let counts = brute_force_counts(&doc, &query).unwrap();
+    assert_eq!(counts, vec![1, 1]);
+
+    let index = DocIndex::build(&doc);
+    let nt = evaluate(&doc, &index, &query).unwrap();
+    assert_eq!(nt.bindings(QVar(1)).len(), 1);
+
+    let sketch = TreeSketch::from_stable(&build_stable(&doc));
+    let answer = eval_query(&sketch, &query, &EvalConfig::default()).unwrap();
+    assert!((answer.estimated_bindings(QVar(1)) - 1.0).abs() < 1e-9);
+}

@@ -161,7 +161,7 @@ proptest! {
         let doc = to_document(&tree);
         let stable = build_stable(&doc);
         let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
-        let report = ts_build_state(&mut state, &BuildConfig::with_budget(budget));
+        let report = ts_build_state(&mut state, &BuildConfig::with_budget(budget)).unwrap();
         prop_assert!(state.verify().is_ok(), "{:?}", state.verify());
         prop_assert_eq!(report.sketch.total_elements(), doc.len() as u64);
         prop_assert_eq!(
