@@ -1,0 +1,90 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
+//! Disabled-overhead smoke bench for the observability layer (ISSUE 4
+//! acceptance): with no recorder installed, every `axqa_obs` call is a
+//! branch on a relaxed atomic, so the instrumented EVALQUERY workload
+//! must run within noise (< 2%) of what it cost before instrumentation.
+//! The `obs_primitives` group prices the primitives themselves in both
+//! states for the PR description.
+
+use axqa_bench::Fixture;
+use axqa_core::{eval_query, ts_build, BuildConfig, EvalConfig};
+use axqa_datagen::Dataset;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_disabled_overhead(c: &mut Criterion) {
+    let fixture = Fixture::new(Dataset::XMark, 30_000, 50);
+    let sketch = ts_build(&fixture.stable, &BuildConfig::with_budget(20 * 1024)).sketch;
+    let config = EvalConfig::default();
+
+    // The acceptance measurement: the full EVALQUERY workload with all
+    // instrumentation live in the binary but no recorder installed.
+    let mut group = c.benchmark_group("obs_disabled");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("evalquery_workload_no_recorder", |b| {
+        assert!(!axqa_obs::enabled(), "no recorder may be installed here");
+        b.iter(|| {
+            fixture
+                .workload
+                .iter()
+                .filter_map(|q| eval_query(&sketch, q, &config))
+                .count()
+        })
+    });
+    // The same workload with a recorder drained per iteration, for the
+    // enabled-path price (not part of the < 2% criterion).
+    group.bench_function("evalquery_workload_recording", |b| {
+        let recorder = axqa_obs::Recorder::new();
+        recorder.install();
+        b.iter(|| {
+            let n = fixture
+                .workload
+                .iter()
+                .filter_map(|q| eval_query(&sketch, q, &config))
+                .count();
+            black_box(recorder.drain());
+            n
+        });
+        axqa_obs::uninstall();
+    });
+    group.finish();
+
+    // Primitive costs: one disabled call is the relaxed-load branch.
+    let mut group = c.benchmark_group("obs_primitives");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| black_box(axqa_obs::span(black_box("bench.span"))))
+    });
+    group.bench_function("disabled_counter", |b| {
+        b.iter(|| axqa_obs::counter(black_box("bench.counter"), black_box(1)))
+    });
+    group.bench_function("enabled_span", |b| {
+        let recorder = axqa_obs::Recorder::new();
+        recorder.install();
+        b.iter(|| black_box(axqa_obs::span(black_box("bench.span"))));
+        axqa_obs::uninstall();
+        black_box(recorder.drain());
+    });
+    group.bench_function("enabled_counter", |b| {
+        let recorder = axqa_obs::Recorder::new();
+        recorder.install();
+        b.iter(|| axqa_obs::counter(black_box("bench.counter"), black_box(1)));
+        axqa_obs::uninstall();
+        black_box(recorder.drain());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled_overhead);
+criterion_main!(benches);

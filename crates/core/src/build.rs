@@ -222,6 +222,7 @@ fn ts_build_to_budget(
             context: "ts_build",
         });
     }
+    let _span = axqa_obs::span_with("TSBUILD", "budget_bytes", budget_bytes as u64);
     let mut merges = 0usize;
     let mut pool_rebuilds = 0usize;
 
@@ -237,6 +238,7 @@ fn ts_build_to_budget(
         } else {
             0
         };
+        let _merge_span = axqa_obs::span_with("TSBUILD.merge_loop", "pool", pool.len() as u64);
         let mut heap: BinaryHeap<Candidate> = pool.into();
         let merges_before = merges;
         while state.size_bytes() > budget_bytes && heap.len() > lower {
@@ -271,6 +273,8 @@ fn ts_build_to_budget(
         }
     }
 
+    axqa_obs::counter("tsbuild.merges", merges as u64);
+    axqa_obs::counter("tsbuild.pool_rebuilds", pool_rebuilds as u64);
     let final_bytes = state.size_bytes();
     let (sketch, stable_assignment) = state.to_sketch_with_assignment();
     Ok(BuildReport {
@@ -320,6 +324,7 @@ pub fn ts_build_sweep(
 /// Turns sweep snapshots into sketches, in input order, sharding the
 /// per-budget finalization work across the Fig. 5 worker pool.
 fn finalize_snapshots(snaps: &[PartitionSnapshot], config: &BuildConfig) -> Vec<TreeSketch> {
+    let _span = axqa_obs::span_with("TSBUILD.finalize_sweep", "snapshots", snaps.len() as u64);
     let threads = config.effective_threads().max(1).min(snaps.len());
     if threads <= 1 || snaps.len() <= 1 {
         return snaps.iter().map(PartitionSnapshot::finalize).collect();
@@ -375,6 +380,11 @@ const PARALLEL_LEVEL_MIN: usize = 32;
 /// level-by-level early exit (the paper's loop guard) is preserved by
 /// the per-level barrier.
 fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate> {
+    let _span = axqa_obs::span_with(
+        "CREATEPOOL",
+        "threads",
+        config.effective_threads().max(1) as u64,
+    );
     // Group live clusters by label; count clusters per depth so levels
     // with no work are skipped and small levels stay serial.
     let mut by_label: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
@@ -410,6 +420,7 @@ fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate>
                 }
             }
         } else {
+            let _score_span = axqa_obs::span_with("CREATEPOOL.score", "level", u64::from(level));
             for group in &groups {
                 score_group(state, config, level, group, &mut best);
             }
@@ -434,6 +445,10 @@ fn score_level_parallel(
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move |_| {
+                    // Per-worker span: the worker's own thread id makes
+                    // the PR-2 parallel path visible lane-by-lane in the
+                    // Chrome trace (ISSUE 4 acceptance).
+                    let _span = axqa_obs::span_with("CREATEPOOL.score", "worker", t as u64);
                     let mut local: BinaryHeap<WorstFirst> = BinaryHeap::new();
                     for group in groups.iter().skip(t).step_by(threads) {
                         score_group(state, config, level, group, &mut local);
@@ -516,6 +531,7 @@ fn score_pair(
     a: u32,
     b: u32,
 ) {
+    axqa_obs::counter("tsbuild.candidates_scored", 1);
     let delta = state.evaluate_merge(a, b);
     let cand = Candidate {
         ratio: delta.ratio(),

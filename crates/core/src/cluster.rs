@@ -701,6 +701,7 @@ impl<'a> ClusterState<'a> {
     /// plus the stable-class → sketch-node assignment (used by the
     /// value layer and other per-extent annotations).
     pub fn to_sketch_with_assignment(&self) -> (TreeSketch, Vec<u32>) {
+        let _span = axqa_obs::span("TSBUILD.to_sketch");
         let sketch = self.to_sketch();
         // Recompute the dense renumbering the same way to_sketch does.
         let mut dense = vec![u32::MAX; self.clusters.len()];
@@ -911,6 +912,7 @@ impl PartitionSnapshot {
     /// (ascending original ids, so the numbering is identical), centroid
     /// edges `sum / N`, and per-node edge sorting.
     pub fn finalize(&self) -> TreeSketch {
+        let _span = axqa_obs::span_with("TSBUILD.finalize", "clusters", self.clusters.len() as u64);
         let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
         for (pos, cluster) in self.clusters.iter().enumerate() {
             dense.insert(cluster.id, axqa_xml::dense_id(pos));

@@ -158,6 +158,7 @@ pub fn eval_query_with_values(
     config: &EvalConfig,
     values: Option<&crate::values::ValueIndex>,
 ) -> Option<ResultSketch> {
+    let _span = axqa_obs::span_with("EVALQUERY", "vars", query.num_vars() as u64);
     let labels = sketch.labels();
     let resolved: Vec<ResolvedPath> = query
         .vars()
@@ -351,6 +352,10 @@ struct PatternRun<'p> {
     next: FxHashMap<(TsNodeId, u64), f64>,
     /// Accepted path weight per endpoint.
     out: FxHashMap<TsNodeId, f64>,
+    /// Embeddings reaching the accepting position (EVALEMBED work,
+    /// accumulated locally and flushed to `evalquery.embeddings_expanded`
+    /// once per pattern run — no per-edge counter traffic).
+    expanded: u64,
 }
 
 impl Walker<'_> {
@@ -398,11 +403,14 @@ impl Walker<'_> {
             accept,
             next: FxHashMap::default(),
             out,
+            expanded: 0,
         };
+        let mut states: u64 = 0;
         for _ in 0..budget {
             if frontier.is_empty() {
                 break;
             }
+            states = states.saturating_add(frontier.len() as u64);
             for (&(u, set), &weight) in &frontier {
                 for &(v, c) in &self.sketch.node(u).edges {
                     let base = weight * c;
@@ -414,6 +422,8 @@ impl Walker<'_> {
             }
             frontier = std::mem::take(&mut run.next);
         }
+        axqa_obs::counter("evalquery.automaton_states", states);
+        axqa_obs::counter("evalquery.embeddings_expanded", run.expanded);
         run.out
     }
 
@@ -487,6 +497,7 @@ impl Walker<'_> {
         }
         if set & run.accept != 0 {
             *run.out.entry(v).or_insert(0.0) += weight;
+            run.expanded = run.expanded.saturating_add(1);
         }
         // The accepting position has no outgoing transitions; drop it
         // from the live set before extending.

@@ -1,0 +1,102 @@
+// Integration tests opt back into panicking extractors (workspace lint
+// table, DESIGN.md "Static analysis & invariants").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Determinism-adjacent observability test (ISSUE 4 satellite): serial
+//! and parallel TSBUILD must report the *same work* — identical counter
+//! totals for merges and candidates scored — even though span timings
+//! and thread interleavings differ. PR 2 proved the builds bit-identical;
+//! this pins the instrumentation to the same invariant so a counter
+//! regression (double-counting in the sharded path, a lost worker
+//! buffer) fails loudly.
+//!
+//! Kept as a single `#[test]` because the recorder gate is process-wide
+//! state; the two phases install and uninstall their own recorders
+//! sequentially.
+
+use axqa_core::{ts_build, BuildConfig};
+use axqa_synopsis::build_stable;
+use axqa_xml::parse_document;
+
+/// Enough same-label classes per level to cross PARALLEL_LEVEL_MIN and
+/// shard scoring across workers (same shape as the PR-2 parity tests).
+fn many_class_doc() -> axqa_xml::Document {
+    let mut src = String::from("<r>");
+    for k in 1..=40 {
+        src.push_str("<p>");
+        src.push_str(&"<k/>".repeat(k));
+        src.push_str(&"<m/>".repeat(k % 5 + 1));
+        src.push_str("</p>");
+    }
+    for k in 1..=20 {
+        src.push_str("<q><p>");
+        src.push_str(&"<k/>".repeat(k * 2));
+        src.push_str("</p></q>");
+    }
+    src.push_str("</r>");
+    parse_document(&src).unwrap()
+}
+
+#[test]
+fn parallel_and_serial_tsbuild_report_identical_counter_totals() {
+    let doc = many_class_doc();
+    let stable = build_stable(&doc);
+
+    let mut serial_config = BuildConfig::with_budget(1);
+    serial_config.threads = 1;
+    let mut parallel_config = serial_config.clone();
+    parallel_config.threads = 4;
+
+    let serial_recorder = axqa_obs::Recorder::new();
+    serial_recorder.install();
+    let serial_report = ts_build(&stable, &serial_config);
+    axqa_obs::uninstall();
+    let serial = serial_recorder.drain();
+
+    let parallel_recorder = axqa_obs::Recorder::new();
+    parallel_recorder.install();
+    let parallel_report = ts_build(&stable, &parallel_config);
+    axqa_obs::uninstall();
+    let parallel = parallel_recorder.drain();
+
+    // Same work, counted once: merges, pool rebuilds, candidates scored.
+    assert!(serial.counter("tsbuild.merges") > 0, "{serial:?}");
+    assert_eq!(
+        serial.counter("tsbuild.merges"),
+        parallel.counter("tsbuild.merges")
+    );
+    assert_eq!(
+        serial.counter("tsbuild.pool_rebuilds"),
+        parallel.counter("tsbuild.pool_rebuilds")
+    );
+    assert!(serial.counter("tsbuild.candidates_scored") > 0);
+    assert_eq!(
+        serial.counter("tsbuild.candidates_scored"),
+        parallel.counter("tsbuild.candidates_scored")
+    );
+    // Counters agree with the build reports they instrument.
+    assert_eq!(
+        serial.counter("tsbuild.merges"),
+        u64::try_from(serial_report.merges).unwrap()
+    );
+    assert_eq!(
+        parallel.counter("tsbuild.pool_rebuilds"),
+        u64::try_from(parallel_report.pool_rebuilds).unwrap()
+    );
+
+    // The parallel run's scoring spans come from distinct worker
+    // threads (the per-worker CREATEPOOL lanes of the acceptance
+    // criterion); the serial run stays on one thread.
+    let serial_tids: std::collections::HashSet<u64> = serial.spans.iter().map(|s| s.tid).collect();
+    assert_eq!(serial_tids.len(), 1, "{serial_tids:?}");
+    let worker_tids: std::collections::HashSet<u64> = parallel
+        .spans
+        .iter()
+        .filter(|s| s.name == "CREATEPOOL.score")
+        .map(|s| s.tid)
+        .collect();
+    assert!(
+        worker_tids.len() > 1,
+        "expected scoring spans from multiple workers, got {worker_tids:?}"
+    );
+}

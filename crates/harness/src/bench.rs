@@ -11,7 +11,6 @@ use axqa_datagen::{generate, Dataset, GenConfig};
 use axqa_query::TwigQuery;
 use axqa_synopsis::size::kb;
 use axqa_synopsis::{build_stable, StableSummary};
-use std::time::Instant;
 
 /// Knobs for the baseline run.
 #[derive(Debug, Clone)]
@@ -32,6 +31,13 @@ pub struct BaselineConfig {
     pub seed: u64,
     /// Output path of the JSON snapshot.
     pub out: std::path::PathBuf,
+    /// Optional Chrome `trace_event` output (`--trace PATH`), loadable
+    /// in `chrome://tracing`/Perfetto.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Optional standalone `axqa-obs/1` metrics output
+    /// (`--metrics PATH`); the same document is embedded in the
+    /// baseline JSON either way.
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for BaselineConfig {
@@ -45,6 +51,8 @@ impl Default for BaselineConfig {
             threads: 0,
             seed: 0x5EED,
             out: std::path::PathBuf::from("BENCH_core.json"),
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -111,6 +119,15 @@ pub struct BaselineReport {
     pub eval_total_ms: f64,
     /// Derived per-query cost in microseconds.
     pub eval_per_query_us: f64,
+    /// Threads the parallel TSBUILD variant actually ran with
+    /// (machine-info provenance: `threads` in the config block is the
+    /// *requested* count, 0 meaning "all cores").
+    pub threads_used: usize,
+    /// Host CPU count at measurement time.
+    pub cpus: usize,
+    /// Drained observability snapshot of the whole run (embedded as the
+    /// `metrics` block, schema `axqa-obs/1`).
+    pub metrics: axqa_obs::Snapshot,
 }
 
 fn median_ms(samples: &mut [f64]) -> f64 {
@@ -122,9 +139,9 @@ fn median_ms(samples: &mut [f64]) -> f64 {
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
-    let start = Instant::now();
+    let watch = axqa_obs::Stopwatch::start();
     let value = f();
-    (start.elapsed().as_secs_f64() * 1_000.0, value)
+    (watch.elapsed_ms(), value)
 }
 
 /// Runs one measurement `runs` times and reports the median.
@@ -137,6 +154,11 @@ fn measure(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
 /// TSBUILD serial vs parallel at every budget, and EVALQUERY over the
 /// workload against the first-budget sketch.
 pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
+    // The baseline drives its own recorder: all TSBUILD/EVALQUERY spans
+    // and counters of the run land in the embedded `metrics` block and
+    // the optional `--trace` timeline.
+    let recorder = axqa_obs::Recorder::new();
+    recorder.install();
     let doc = generate(
         config.dataset,
         &GenConfig {
@@ -161,6 +183,8 @@ pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
     }
 
     let (eval_total_ms, eval_per_query_us) = bench_eval_query(config, &stable, &workload);
+    axqa_obs::uninstall();
+    let threads_used = ts_rows.iter().map(|row| row.threads).max().unwrap_or(1);
     BaselineReport {
         config: config.clone(),
         stable_build_ms,
@@ -168,6 +192,9 @@ pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
         eval_queries: workload.len(),
         eval_total_ms,
         eval_per_query_us,
+        threads_used,
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        metrics: recorder.drain(),
     }
 }
 
@@ -232,7 +259,6 @@ impl BaselineReport {
     /// Serializes the snapshot as the `axqa-bench-baseline/1` JSON
     /// document (hand-rolled — the workspace carries no serde).
     pub fn to_json(&self) -> String {
-        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
         let budgets: Vec<String> = self
             .config
             .budgets_kb
@@ -259,7 +285,7 @@ impl BaselineReport {
         format!(
             r#"{{
   "schema": "axqa-bench-baseline/1",
-  "machine": {{"os": "{os}", "arch": "{arch}", "cpus": {cpus}}},
+  "machine": {{"os": "{os}", "arch": "{arch}", "cpus": {cpus}, "threads_used": {threads_used}}},
   "config": {{
     "dataset": "{dataset}",
     "elements": {elements},
@@ -273,12 +299,13 @@ impl BaselineReport {
   "ts_build": [
 {ts_rows}
   ],
-  "eval_query": {{"queries": {eq}, "total_ms": {et}, "per_query_us": {epq}}}
-}}
+  "eval_query": {{"queries": {eq}, "total_ms": {et}, "per_query_us": {epq}}},
+  "metrics": {metrics}}}
 "#,
             os = std::env::consts::OS,
             arch = std::env::consts::ARCH,
-            cpus = cpus,
+            cpus = self.cpus,
+            threads_used = self.threads_used,
             dataset = self.config.dataset.name(),
             elements = self.config.elements,
             queries = self.config.queries,
@@ -291,12 +318,22 @@ impl BaselineReport {
             eq = self.eval_queries,
             et = json_f(self.eval_total_ms),
             epq = json_f(self.eval_per_query_us),
+            metrics = axqa_obs::export::metrics_json(&self.metrics).trim_end(),
         )
     }
 
-    /// Writes the JSON snapshot to `config.out`.
+    /// Writes the JSON snapshot to `config.out`, plus the Chrome trace
+    /// and standalone metrics documents when `--trace`/`--metrics`
+    /// were given.
     pub fn write(&self) -> std::io::Result<()> {
-        std::fs::write(&self.config.out, self.to_json())
+        std::fs::write(&self.config.out, self.to_json())?;
+        if let Some(path) = &self.config.trace_out {
+            std::fs::write(path, axqa_obs::export::chrome_trace(&self.metrics))?;
+        }
+        if let Some(path) = &self.config.metrics_out {
+            std::fs::write(path, axqa_obs::export::metrics_json(&self.metrics))?;
+        }
+        Ok(())
     }
 
     /// Human-readable summary for stdout.
@@ -324,6 +361,20 @@ impl BaselineReport {
             json_f(self.eval_total_ms),
             json_f(self.eval_per_query_us),
         ));
+        // Provenance honesty: a speedup≈1 on a starved host is a
+        // measurement artifact, not a perf regression — say so instead
+        // of letting the snapshot mislead a review diff.
+        if self.cpus == 1 {
+            out.push_str(
+                "  warning: single-CPU host — serial vs parallel TSBUILD cannot \
+                 diverge here; speedup columns are not meaningful\n",
+            );
+        } else if self.threads_used <= 1 {
+            out.push_str(
+                "  warning: parallel variant ran with 1 thread — speedup columns \
+                 compare serial against itself\n",
+            );
+        }
         out
     }
 }
@@ -331,6 +382,10 @@ impl BaselineReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `run_baseline` installs the process-global recorder; serialize
+    /// the tests that do so.
+    static RECORDER_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn tiny() -> BaselineConfig {
         BaselineConfig {
@@ -345,6 +400,9 @@ mod tests {
 
     #[test]
     fn baseline_emits_wellformed_snapshot() {
+        let _gate = RECORDER_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let config = tiny();
         let report = run_baseline(&config);
         assert_eq!(report.ts_build.len(), 2);
@@ -355,19 +413,65 @@ mod tests {
             "\"schema\": \"axqa-bench-baseline/1\"",
             "\"machine\"",
             "\"cpus\"",
+            "\"threads_used\"",
             "\"stable_build_ms\"",
             "\"ts_build\"",
             "\"eval_query\"",
             "\"speedup\"",
+            "\"metrics\"",
+            "\"schema\": \"axqa-obs/1\"",
+            "\"tsbuild.merges\"",
+            "\"TSBUILD\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // The embedded snapshot saw the run's work.
+        assert!(report.metrics.counter("tsbuild.merges") > 0);
+        assert!(report.metrics.span_count("EVALQUERY") > 0);
+        assert!(report.metrics.span_count("BUILDSTABLE") > 0);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         report.write().unwrap();
         let on_disk = std::fs::read_to_string(&config.out).unwrap();
         assert_eq!(on_disk, json);
         let _ = std::fs::remove_file(&config.out);
+    }
+
+    #[test]
+    fn baseline_writes_trace_and_metrics_files() {
+        let _gate = RECORDER_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pid = std::process::id();
+        let mut config = tiny();
+        config.out = std::env::temp_dir().join(format!("axqa-bench-traced-{pid}.json"));
+        config.trace_out = Some(std::env::temp_dir().join(format!("axqa-trace-{pid}.json")));
+        config.metrics_out = Some(std::env::temp_dir().join(format!("axqa-metrics-{pid}.json")));
+        let report = run_baseline(&config);
+        report.write().unwrap();
+        let trace = std::fs::read_to_string(config.trace_out.as_ref().unwrap()).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\": ["));
+        for name in [
+            "\"TSBUILD\"",
+            "\"CREATEPOOL\"",
+            "\"EVALQUERY\"",
+            "\"BUILDSTABLE\"",
+        ] {
+            assert!(trace.contains(name), "trace missing {name}");
+        }
+        assert_eq!(
+            trace.matches("\"ph\": \"B\"").count(),
+            trace.matches("\"ph\": \"E\"").count()
+        );
+        let metrics = std::fs::read_to_string(config.metrics_out.as_ref().unwrap()).unwrap();
+        assert!(metrics.contains("\"schema\": \"axqa-obs/1\""));
+        for path in [
+            &config.out,
+            config.trace_out.as_ref().unwrap(),
+            config.metrics_out.as_ref().unwrap(),
+        ] {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]

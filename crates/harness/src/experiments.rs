@@ -8,6 +8,7 @@ use axqa_datagen::workload::{negative_workload, positive_workload, WorkloadConfi
 use axqa_datagen::Dataset;
 use axqa_distance::{esd_summaries, EsdConfig, WeightedSummary};
 use axqa_eval::selectivity as exact_selectivity;
+use axqa_obs::Stopwatch;
 use axqa_synopsis::size::kb;
 use axqa_synopsis::SizeModel;
 use axqa_xml::DocStats;
@@ -17,7 +18,6 @@ use axqa_xsketch::estimate::{xs_estimate_selectivity, XsEvalConfig};
 use axqa_xsketch::XSketch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Experiment-level configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +66,7 @@ pub const TX_DATASETS: [Dataset; 3] = [Dataset::XMark, Dataset::Imdb, Dataset::S
 /// Table 1: elements, serialized size and stable-summary size per
 /// dataset (TX and large variants).
 pub fn table1(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.table1");
     let mut table = Table::new(
         "Table 1: data set characteristics",
         &["Data Set", "Elements", "File Size", "Stable Synopsis"],
@@ -117,6 +118,7 @@ pub fn table1(config: &ExperimentConfig) -> Table {
 /// Table 2: average binding tuples per query, for the TX and large
 /// workloads.
 pub fn table2(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.table2");
     let mut table = Table::new(
         "Table 2: workload characteristics",
         &["Data Set", "Queries", "Avg Binding Tuples"],
@@ -156,6 +158,7 @@ pub fn table2(config: &ExperimentConfig) -> Table {
 /// floor, the paper's worst case) vs the workload-driven twig-XSketch
 /// build (label-split → 10 KB).
 pub fn table3(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.table3");
     let mut table = Table::new(
         "Table 3: construction times",
         &["Data Set", "TreeSketch", "Twig-XSketch", "Stable Nodes"],
@@ -164,7 +167,7 @@ pub fn table3(config: &ExperimentConfig) -> Table {
         let prepared = Prepared::new(dataset, false, &config.pipeline);
         // TreeSketch: compress all the way down (budget below the
         // label-split floor).
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let report = ts_build(&prepared.stable, &BuildConfig::with_budget(1));
         let ts_time = start.elapsed();
         let _ = report;
@@ -172,7 +175,7 @@ pub fn table3(config: &ExperimentConfig) -> Table {
         // build workload with exact counts.
         let xs_time = if config.with_xsketch {
             let build_workload = xsketch_build_workload(&prepared, config);
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let _ = build_xsketch(
                 &prepared.stable,
                 &build_workload,
@@ -223,6 +226,7 @@ fn xsketch_build_workload(
 /// Figure 11: per TX dataset, average ESD of TreeSketch answers and
 /// twig-XSketch sampled answers across budgets.
 pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
+    let _span = axqa_obs::span("experiment.fig11");
     let esd_config = EsdConfig::default();
     let mut tables = Vec::new();
     for dataset in TX_DATASETS {
@@ -351,6 +355,7 @@ fn esd_of_xsketch_answer(
 /// Figure 12: per TX dataset, average relative selectivity error of
 /// both techniques across budgets.
 pub fn fig12(config: &ExperimentConfig) -> Vec<Table> {
+    let _span = axqa_obs::span("experiment.fig12");
     let mut tables = Vec::new();
     let pipeline = PipelineConfig {
         need_nesting: false,
@@ -433,6 +438,7 @@ pub fn fig12(config: &ExperimentConfig) -> Vec<Table> {
 /// DBLP (large scale) across budgets; also reports construction time
 /// (the §6.2 scaling discussion).
 pub fn fig13(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.fig13");
     let mut table = Table::new(
         "Figure 13: TreeSketch selectivity error (%) on large data sets",
         &["Data Set", "Build", "10KB", "20KB", "30KB", "40KB", "50KB"],
@@ -445,7 +451,7 @@ pub fn fig13(config: &ExperimentConfig) -> Table {
         let prepared = Prepared::new(dataset, true, &pipeline);
         let sanity = prepared.sanity_bound();
         let n = prepared.workload.len();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         // One compression sweep serves all budgets (greedy merging is
         // prefix-stable), and its wall time is the reported build cost.
         let fig13_budgets = [10usize, 20, 30, 40, 50];
@@ -487,6 +493,7 @@ pub fn fig13(config: &ExperimentConfig) -> Table {
 /// Negative workloads: TreeSketches should "consistently produce empty
 /// answers as approximations".
 pub fn negative(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.negative");
     let mut table = Table::new(
         "Negative workloads: fraction answered empty (TreeSketch, 10KB)",
         &["Data Set", "Queries", "Empty Answers", "Avg |Estimate|"],
@@ -528,6 +535,7 @@ pub fn negative(config: &ExperimentConfig) -> Table {
 /// Squared error of bottom-up TSBUILD vs the top-down splitter at equal
 /// budgets.
 pub fn ablation_topdown(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.ablation_topdown");
     let mut table = Table::new(
         "Ablation: bottom-up (TSBUILD) vs top-down squared error",
         &["Data Set", "Budget", "Bottom-up sq", "Top-down sq"],
@@ -560,6 +568,7 @@ pub fn ablation_topdown(config: &ExperimentConfig) -> Table {
 /// budgets, with and without the value layer — the extension experiment
 /// (no paper counterpart; §1 declares values future work).
 pub fn values(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.values");
     use axqa_core::eval_query_with_values;
     use axqa_core::ValueIndex;
     use axqa_query::{parse_path, PathExpr, QVar, TwigQuery, ValueOp, ValuePred};
@@ -661,6 +670,7 @@ pub fn values(config: &ExperimentConfig) -> Table {
 /// backward path indexes cannot replace count stability: they measure
 /// different things and their sizes are incomparable.
 pub fn family(config: &ExperimentConfig) -> Table {
+    let _span = axqa_obs::span("experiment.family");
     let mut table = Table::new(
         "Synopsis family: classes (bytes) per partition",
         &["Data Set", "A(0)", "A(2)", "1-index", "Count-stable"],

@@ -12,7 +12,7 @@
 //!   bench baseline      wall-clock baseline snapshot (BENCH_core.json);
 //!                       options: --dataset NAME --elements N --queries N
 //!                       --runs N --budgets a,b,c --threads N --seed N
-//!                       --out PATH
+//!                       --out PATH --trace PATH --metrics PATH
 //!
 //! options:
 //!   --scale F           dataset scale multiplier (default 0.25; 1 = paper)
@@ -23,6 +23,10 @@
 //!   --threads N         worker threads (default: all cores)
 //!   --no-xsketch        skip the slow twig-XSketch baseline
 //!   --csv DIR           also write CSV files into DIR
+//!   --trace PATH        record a Chrome trace_event timeline of the run
+//!                       (open in chrome://tracing or ui.perfetto.dev)
+//!   --metrics PATH      write the axqa-obs/1 metrics snapshot (counters,
+//!                       histograms, per-span totals)
 //! ```
 //!
 //! All argument errors flow back to `main` as `Err(message)` and exit
@@ -57,7 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "bench" {
         return cmd_bench(&args[1..]);
     }
-    let config = parse_experiment_args(&args[1..])?;
+    let (config, obs) = parse_experiment_args(&args[1..])?;
 
     println!(
         "# axqa harness — scale {:.2}, {} queries, seed {:#x}, budgets {:?} KB{}",
@@ -72,6 +76,13 @@ fn run(args: &[String]) -> Result<(), String> {
         },
     );
     let started = std::time::Instant::now();
+    // Only pay for recording when an output was requested; without the
+    // flags every span/counter stays a relaxed-atomic branch.
+    let recorder = obs.wants_recording().then(|| {
+        let recorder = axqa_obs::Recorder::new();
+        recorder.install();
+        recorder
+    });
     match command.as_str() {
         "table1" => print_one(table1(&config)),
         "table2" => print_one(table2(&config)),
@@ -97,11 +108,43 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}\n{USAGE}")),
     }
+    if let Some(recorder) = recorder {
+        axqa_obs::uninstall();
+        obs.write(&recorder.drain())?;
+    }
     println!("# done in {:.1}s", started.elapsed().as_secs_f64());
     Ok(())
 }
 
-fn parse_experiment_args(args: &[String]) -> Result<ExperimentConfig, String> {
+/// Where to write the run's observability outputs (`--trace`,
+/// `--metrics`).
+#[derive(Debug, Default)]
+struct ObsOutputs {
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+}
+
+impl ObsOutputs {
+    fn wants_recording(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    fn write(&self, snapshot: &axqa_obs::Snapshot) -> Result<(), String> {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, axqa_obs::export::chrome_trace(snapshot))
+                .map_err(|error| format!("could not write {}: {error}", path.display()))?;
+            println!("# wrote trace {}", path.display());
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, axqa_obs::export::metrics_json(snapshot))
+                .map_err(|error| format!("could not write {}: {error}", path.display()))?;
+            println!("# wrote metrics {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+fn parse_experiment_args(args: &[String]) -> Result<(ExperimentConfig, ObsOutputs), String> {
     let mut config = ExperimentConfig {
         pipeline: PipelineConfig {
             scale: 0.25,
@@ -112,6 +155,7 @@ fn parse_experiment_args(args: &[String]) -> Result<ExperimentConfig, String> {
         },
         ..ExperimentConfig::default()
     };
+    let mut obs = ObsOutputs::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -130,16 +174,18 @@ fn parse_experiment_args(args: &[String]) -> Result<ExperimentConfig, String> {
             "--no-xsketch" => config.with_xsketch = false,
             "--budgets" => config.budgets_kb = parse_budgets(&value("--budgets")?)?,
             "--csv" => config.csv_dir = Some(value("--csv")?.into()),
+            "--trace" => obs.trace = Some(value("--trace")?.into()),
+            "--metrics" => obs.metrics = Some(value("--metrics")?.into()),
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
-    Ok(config)
+    Ok((config, obs))
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     const BENCH_USAGE: &str = "usage: harness bench baseline [--dataset NAME] [--elements N] \
                                [--queries N] [--runs N] [--budgets a,b,c] [--threads N] \
-                               [--seed N] [--out PATH]";
+                               [--seed N] [--out PATH] [--trace PATH] [--metrics PATH]";
     let Some(sub) = args.first() else {
         return Err(BENCH_USAGE.to_string());
     };
@@ -169,6 +215,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--seed" => config.seed = parse("--seed", &value("--seed")?)?,
             "--budgets" => config.budgets_kb = parse_budgets(&value("--budgets")?)?,
             "--out" => config.out = value("--out")?.into(),
+            "--trace" => config.trace_out = Some(value("--trace")?.into()),
+            "--metrics" => config.metrics_out = Some(value("--metrics")?.into()),
             other => return Err(format!("unknown option {other}\n{BENCH_USAGE}")),
         }
     }
@@ -181,6 +229,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     report
         .write()
         .map_err(|error| format!("could not write {}: {error}", config.out.display()))?;
+    if let Some(path) = &config.trace_out {
+        println!("# wrote trace {}", path.display());
+    }
+    if let Some(path) = &config.metrics_out {
+        println!("# wrote metrics {}", path.display());
+    }
     println!(
         "# wrote {} in {:.1}s",
         config.out.display(),

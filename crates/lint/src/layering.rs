@@ -15,6 +15,7 @@ use crate::{Finding, Rule, Scope, Severity, Workspace};
 /// table is itself a finding, so new crates must take a position in
 /// the architecture before CI passes.
 pub const LAYERS: &[(&str, u32)] = &[
+    ("axqa-obs", 0),      // tracing/metrics: std-only, everything above may instrument
     ("axqa-xml", 0),      // data model: documents, labels, arena ids
     ("axqa-query", 1),    // twig queries over the data model
     ("axqa-synopsis", 2), // count-stable summaries, generic synopses

@@ -346,7 +346,8 @@ impl Rule for ForbiddenApi {
         "forbidden-api"
     }
     fn describe(&self) -> &'static str {
-        "no print macros in library code; no std::process::exit anywhere (return ExitCode)"
+        "no print macros or raw Instant/SystemTime::now in library code (time via axqa-obs); \
+         no std::process::exit anywhere (return ExitCode)"
     }
     fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         for (i, token) in file.tokens.iter().enumerate() {
@@ -387,6 +388,29 @@ impl Rule for ForbiddenApi {
                     ));
                 }
             }
+            // Raw clock reads in library crates bypass the observability
+            // layer: all timing flows through axqa-obs (Stopwatch or the
+            // recorder's monotonic epoch, DESIGN.md §9) so traces and
+            // bench reports share one clock. Binaries may still read the
+            // clock directly; axqa-obs is the clock's one owner.
+            if text == "now" && !file.is_bin && file.crate_name != "axqa-obs" {
+                if let Some(clock) = raw_timing_owner(file, i) {
+                    let called = next_code(&file.tokens, i)
+                        .is_some_and(|j| file.tokens[j].text(&file.text) == "(");
+                    if called {
+                        findings.push(finding(
+                            self.id(),
+                            file,
+                            token,
+                            format!(
+                                "`{clock}::now()` in library code — time through \
+                                 axqa_obs::Stopwatch / spans so traces and reports \
+                                 share the recorder's clock (DESIGN.md §9)"
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 }
@@ -401,6 +425,20 @@ fn path_is_process_exit(file: &SourceFile, i: usize) -> bool {
         return false;
     }
     prev_code(&file.tokens, sep).is_some_and(|j| file.tokens[j].text(&file.text) == "process")
+}
+
+/// When the `now` ident at `i` is reached via an `Instant::` or
+/// `SystemTime::` path segment, returns the clock type's name.
+fn raw_timing_owner(file: &SourceFile, i: usize) -> Option<&'static str> {
+    let sep = prev_code(&file.tokens, i)?;
+    if file.tokens[sep].text(&file.text) != "::" {
+        return None;
+    }
+    match file.tokens[prev_code(&file.tokens, sep)?].text(&file.text) {
+        "Instant" => Some("Instant"),
+        "SystemTime" => Some("SystemTime"),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +660,70 @@ mod tests {
             "axqa-harness",
             false,
             ok
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn forbidden_api_raw_clock_reads_in_libraries() {
+        // Library crates must route timing through axqa-obs…
+        let instant = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        let v = check(
+            &ForbiddenApi,
+            "crates/harness/src/bench.rs",
+            "axqa-harness",
+            false,
+            instant,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Instant::now()"));
+        let system = "fn f() { let t = SystemTime::now(); drop(t); }\n";
+        assert_eq!(
+            check(
+                &ForbiddenApi,
+                "crates/core/src/build.rs",
+                "axqa-core",
+                false,
+                system
+            )
+            .len(),
+            1
+        );
+        // …but axqa-obs owns the clock, and binaries may read it.
+        assert!(check(
+            &ForbiddenApi,
+            "crates/obs/src/recorder.rs",
+            "axqa-obs",
+            false,
+            instant
+        )
+        .is_empty());
+        assert!(check(
+            &ForbiddenApi,
+            "crates/harness/src/main.rs",
+            "axqa-harness",
+            true,
+            instant
+        )
+        .is_empty());
+        // `now` as a plain ident or another type's method is fine.
+        let ok = "fn f(now: u64, w: &Watch) { let _ = now + w.now(); Clock::now(); }\n";
+        assert!(check(
+            &ForbiddenApi,
+            "crates/core/src/build.rs",
+            "axqa-core",
+            false,
+            ok
+        )
+        .is_empty());
+        // Tests inside library files may read the clock.
+        let test_code = "#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }\n";
+        assert!(check(
+            &ForbiddenApi,
+            "crates/core/src/build.rs",
+            "axqa-core",
+            false,
+            test_code
         )
         .is_empty());
     }

@@ -1,0 +1,114 @@
+// Integration tests opt back into panicking extractors (workspace lint
+// table, DESIGN.md "Static analysis & invariants").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Golden-file test for the Chrome `trace_event` exporter (ISSUE 4
+//! satellite): name escaping, `ph: B`/`E` pairing, and `pid`/`tid`
+//! fields are pinned byte-for-byte against `tests/golden/trace.json`,
+//! and the `axqa-obs/1` metrics document shape is asserted alongside.
+
+use axqa_obs::export::{chrome_trace, metrics_json};
+use axqa_obs::{Histogram, Snapshot, SpanRecord};
+
+/// A hand-built snapshot with fixed ids and timestamps: a TSBUILD span
+/// on thread 0 containing CREATEPOOL and the merge loop, plus a
+/// worker-scoring span on thread 1 whose name needs JSON escaping.
+fn fixture() -> Snapshot {
+    let mut hist = Histogram::default();
+    hist.record(3);
+    hist.record(200);
+    Snapshot {
+        process_id: 4242,
+        spans: vec![
+            SpanRecord {
+                name: "TSBUILD",
+                id: 1,
+                parent: None,
+                tid: 0,
+                start_us: 100,
+                end_us: 900,
+                arg: Some(("budget_bytes", 10_240)),
+            },
+            SpanRecord {
+                name: "CREATEPOOL",
+                id: 2,
+                parent: Some(1),
+                tid: 0,
+                start_us: 120,
+                end_us: 400,
+                arg: Some(("clusters", 16)),
+            },
+            SpanRecord {
+                name: "score \"w\\0\"",
+                id: 3,
+                parent: None,
+                tid: 1,
+                start_us: 130,
+                end_us: 390,
+                arg: None,
+            },
+            SpanRecord {
+                name: "TSBUILD.merge_loop",
+                id: 4,
+                parent: Some(1),
+                tid: 0,
+                start_us: 410,
+                end_us: 880,
+                arg: None,
+            },
+        ],
+        counters: vec![
+            ("evalquery.automaton_states".to_string(), 57),
+            ("tsbuild.merges".to_string(), 12),
+        ],
+        histograms: vec![("pool.candidates".to_string(), hist)],
+    }
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let actual = chrome_trace(&fixture());
+    let golden = include_str!("golden/trace.json");
+    if actual != golden {
+        // Leave the actual output somewhere inspectable so the golden
+        // can be refreshed deliberately after an intended format change.
+        let path = std::env::temp_dir().join("axqa_obs_golden_trace_actual.json");
+        std::fs::write(&path, &actual).unwrap();
+        panic!(
+            "chrome_trace output diverged from tests/golden/trace.json; \
+             actual output written to {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_pairs_begin_and_end_events() {
+    let trace = chrome_trace(&fixture());
+    assert_eq!(trace.matches("\"ph\": \"B\"").count(), 4);
+    assert_eq!(trace.matches("\"ph\": \"E\"").count(), 4);
+    // Every event names the process and a thread.
+    assert_eq!(trace.matches("\"pid\": 4242").count(), 8);
+    assert_eq!(trace.matches("\"tid\": 0").count(), 6);
+    assert_eq!(trace.matches("\"tid\": 1").count(), 2);
+    // The worker span's quotes and backslash are escaped for JSON.
+    assert!(trace.contains("score \\\"w\\\\0\\\""));
+    // Span args ride on the B event.
+    assert!(trace.contains("\"args\": {\"budget_bytes\": 10240}"));
+}
+
+#[test]
+fn metrics_json_has_the_axqa_obs_1_shape() {
+    let metrics = metrics_json(&fixture());
+    assert!(metrics.contains("\"schema\": \"axqa-obs/1\""));
+    assert!(metrics.contains("\"process_id\": 4242"));
+    assert!(metrics.contains("\"tsbuild.merges\": 12"));
+    assert!(metrics.contains("\"evalquery.automaton_states\": 57"));
+    assert!(metrics.contains("\"pool.candidates\": {\"count\": 2, \"sum\": 203, \"max\": 200,"));
+    // Span aggregates: TSBUILD appears once, 800us total.
+    assert!(metrics.contains("\"TSBUILD\": {\"count\": 1, \"total_us\": 800, \"max_us\": 800}"));
+    // Balanced braces/brackets — same well-formedness check the bench
+    // report test uses (no serde in the workspace to parse with).
+    assert_eq!(metrics.matches('{').count(), metrics.matches('}').count());
+    assert_eq!(metrics.matches('[').count(), metrics.matches(']').count());
+}

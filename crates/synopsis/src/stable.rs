@@ -238,6 +238,7 @@ impl StableSummary {
 /// summary.verify_against(&doc).unwrap();
 /// ```
 pub fn build_stable(doc: &Document) -> StableSummary {
+    let _span = axqa_obs::span_with("BUILDSTABLE", "elements", doc.len() as u64);
     let mut nodes: Vec<StableNode> = Vec::new();
     let mut assignment = vec![SynNodeId(0); doc.len()];
     // H[label, C] of the paper: signature → class id.
