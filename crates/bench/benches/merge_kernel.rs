@@ -1,0 +1,103 @@
+// Benchmarks are test-like code: panicking extractors are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
+//! The TSBUILD merge-loop kernel in isolation (§4.2; DESIGN.md §4.7):
+//! `evaluate_merge` with a reused `ScoreScratch` (the hot scoring path —
+//! 82% of construction time in the PR 4 baseline) and `apply_merge`
+//! (partition mutation plus incremental error/size bookkeeping), each at
+//! three stable-summary sizes.
+
+use axqa_bench::Fixture;
+use axqa_core::{ClusterState, ScoreScratch};
+use axqa_datagen::Dataset;
+use axqa_synopsis::SizeModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Same-label candidate pairs over the live clusters, capped so the
+/// per-iteration work stays comparable across sizes.
+fn candidate_pairs(state: &ClusterState, cap: usize) -> Vec<(u32, u32)> {
+    let ids: Vec<u32> = state.alive_ids().collect();
+    let mut pairs = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if state.cluster(a).label == state.cluster(b).label {
+                pairs.push((a, b));
+                if pairs.len() >= cap {
+                    return pairs;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// A merge sequence that is valid when replayed on a fresh state:
+/// recorded by greedily merging the first candidate pair `steps` times.
+fn record_merge_sequence(fixture: &Fixture, steps: usize) -> Vec<(u32, u32)> {
+    let mut state = ClusterState::new(&fixture.stable, SizeModel::TREESKETCH);
+    let mut sequence = Vec::new();
+    for _ in 0..steps {
+        let Some(&pair) = candidate_pairs(&state, 1).first() else {
+            break;
+        };
+        state.apply_merge(pair.0, pair.1);
+        sequence.push(pair);
+    }
+    sequence
+}
+
+fn bench_evaluate_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_kernel_score");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for elements in [3_000usize, 10_000, 30_000] {
+        let fixture = Fixture::new(Dataset::SProt, elements, 0);
+        let state = ClusterState::new(&fixture.stable, SizeModel::TREESKETCH);
+        let pairs = candidate_pairs(&state, 512);
+        let mut scratch = ScoreScratch::new();
+        group.bench_function(format!("evaluate_merge/{elements}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for &(x, y) in &pairs {
+                    let delta = state.evaluate_merge(x, y, &mut scratch);
+                    acc += delta.errd;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_kernel_apply");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for elements in [3_000usize, 10_000, 30_000] {
+        let fixture = Fixture::new(Dataset::SProt, elements, 0);
+        let sequence = record_merge_sequence(&fixture, 64);
+        group.bench_function(format!("apply_merge/{elements}"), |b| {
+            b.iter(|| {
+                // ClusterState is not Clone; rebuild-and-replay keeps each
+                // iteration identical (construction cost is shared noise).
+                let mut state = ClusterState::new(&fixture.stable, SizeModel::TREESKETCH);
+                for &(x, y) in &sequence {
+                    state.apply_merge(x, y);
+                }
+                state.squared_error()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate_merge, bench_apply_merge);
+criterion_main!(benches);

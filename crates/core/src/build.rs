@@ -29,7 +29,7 @@
 //!   top-`Uh` set — and therefore the whole build — is bit-identical to
 //!   the serial run. See DESIGN.md §4.6 for the determinism argument.
 
-use crate::cluster::{ClusterState, PartitionSnapshot};
+use crate::cluster::{ClusterState, PartitionSnapshot, ScoreScratch};
 use crate::sketch::TreeSketch;
 use axqa_synopsis::{SizeModel, StableSummary};
 use axqa_xml::fxhash::FxHashMap;
@@ -225,9 +225,13 @@ fn ts_build_to_budget(
     let _span = axqa_obs::span_with("TSBUILD", "budget_bytes", budget_bytes as u64);
     let mut merges = 0usize;
     let mut pool_rebuilds = 0usize;
+    let mut reevals = 0u64;
+    // One scratch serves every lazy re-evaluation of this build; the
+    // CREATEPOOL workers carry their own.
+    let mut scratch = ScoreScratch::new();
 
     while state.size_bytes() > budget_bytes {
-        let pool = create_pool(state, config);
+        let pool = create_pool(state, config, &mut scratch);
         pool_rebuilds += 1;
         if pool.is_empty() {
             break; // label-split floor: nothing left to merge
@@ -241,6 +245,10 @@ fn ts_build_to_budget(
         let _merge_span = axqa_obs::span_with("TSBUILD.merge_loop", "pool", pool.len() as u64);
         let mut heap: BinaryHeap<Candidate> = pool.into();
         let merges_before = merges;
+        // Contiguous runs of stale re-scorings share one stretch span
+        // (per-candidate spans at ~half a million pops would dwarf the
+        // work being measured); each applied merge gets its own span.
+        let mut score_span: Option<axqa_obs::SpanGuard> = None;
         while state.size_bytes() > budget_bytes && heap.len() > lower {
             let Some(cand) = heap.pop() else { break };
             let a = state.resolve(cand.a);
@@ -255,7 +263,11 @@ fn ts_build_to_budget(
             if !fresh {
                 // Re-rank with current metrics (the paper's replacement
                 // + affected-set recomputation, done lazily).
-                let delta = state.evaluate_merge(a, b);
+                if score_span.is_none() {
+                    score_span = Some(axqa_obs::span("TSBUILD.merge_loop.score"));
+                }
+                reevals = reevals.saturating_add(1);
+                let delta = state.evaluate_merge(a, b, &mut scratch);
                 heap.push(Candidate {
                     ratio: delta.ratio(),
                     a,
@@ -265,14 +277,18 @@ fn ts_build_to_budget(
                 });
                 continue;
             }
+            score_span = None; // close the stretch before applying
+            let _apply_span = axqa_obs::span("TSBUILD.merge_loop.apply");
             state.apply_merge(a, b);
             merges += 1;
         }
+        drop(score_span);
         if merges == merges_before {
             break; // pool yielded no applicable merge: avoid spinning
         }
     }
 
+    axqa_obs::counter("tsbuild.reevals", reevals);
     axqa_obs::counter("tsbuild.merges", merges as u64);
     axqa_obs::counter("tsbuild.pool_rebuilds", pool_rebuilds as u64);
     let final_bytes = state.size_bytes();
@@ -379,7 +395,11 @@ const PARALLEL_LEVEL_MIN: usize = 32;
 /// visit order, the merged pool is identical to the serial one, and the
 /// level-by-level early exit (the paper's loop guard) is preserved by
 /// the per-level barrier.
-fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate> {
+fn create_pool(
+    state: &ClusterState<'_>,
+    config: &BuildConfig,
+    scratch: &mut ScoreScratch,
+) -> Vec<Candidate> {
     let _span = axqa_obs::span_with(
         "CREATEPOOL",
         "threads",
@@ -422,7 +442,7 @@ fn create_pool(state: &ClusterState<'_>, config: &BuildConfig) -> Vec<Candidate>
         } else {
             let _score_span = axqa_obs::span_with("CREATEPOOL.score", "level", u64::from(level));
             for group in &groups {
-                score_group(state, config, level, group, &mut best);
+                score_group(state, config, level, group, &mut best, scratch);
             }
         }
         if best.len() >= config.heap_upper {
@@ -449,9 +469,12 @@ fn score_level_parallel(
                     // the PR-2 parallel path visible lane-by-lane in the
                     // Chrome trace (ISSUE 4 acceptance).
                     let _span = axqa_obs::span_with("CREATEPOOL.score", "worker", t as u64);
+                    // Each worker owns its scratch: no sharing, no locks,
+                    // and the scoring arithmetic stays order-identical.
+                    let mut scratch = ScoreScratch::new();
                     let mut local: BinaryHeap<WorstFirst> = BinaryHeap::new();
                     for group in groups.iter().skip(t).step_by(threads) {
-                        score_group(state, config, level, group, &mut local);
+                        score_group(state, config, level, group, &mut local, &mut scratch);
                     }
                     local
                 })
@@ -480,6 +503,7 @@ fn score_group(
     level: u32,
     group: &[u32],
     best: &mut BinaryHeap<WorstFirst>,
+    scratch: &mut ScoreScratch,
 ) {
     // Pairs with max(depth) == level: one side at `level`, the other at
     // ≤ `level`.
@@ -499,10 +523,10 @@ fn score_group(
     if at.len() + below.len() <= config.group_all_pairs_cap {
         for (i, &a) in at.iter().enumerate() {
             for &b in &at[i + 1..] {
-                score_pair(state, config, best, a, b);
+                score_pair(state, config, best, a, b, scratch);
             }
             for &b in &below {
-                score_pair(state, config, best, a, b);
+                score_pair(state, config, best, a, b, scratch);
             }
         }
     } else {
@@ -516,7 +540,7 @@ fn score_group(
                 // Skip pairs entirely below the level (they were
                 // proposed at their own level).
                 if state.cluster(a).depth.max(state.cluster(b).depth) == level {
-                    score_pair(state, config, best, a, b);
+                    score_pair(state, config, best, a, b, scratch);
                 }
             }
         }
@@ -530,9 +554,10 @@ fn score_pair(
     best: &mut BinaryHeap<WorstFirst>,
     a: u32,
     b: u32,
+    scratch: &mut ScoreScratch,
 ) {
     axqa_obs::counter("tsbuild.candidates_scored", 1);
-    let delta = state.evaluate_merge(a, b);
+    let delta = state.evaluate_merge(a, b, scratch);
     let cand = Candidate {
         ratio: delta.ratio(),
         a,

@@ -105,6 +105,94 @@ impl MergeDelta {
     }
 }
 
+/// Reusable allocation-free workspace for [`ClusterState::evaluate_merge`].
+///
+/// TSBUILD scores hundreds of thousands of candidates per build, and the
+/// original kernel allocated two fresh hash maps per candidate (cross
+/// terms, parent dedup). The scratch replaces both with dense arrays
+/// indexed by cluster id and stamped by a generation counter: an entry is
+/// live iff its stamp equals the current generation, so "clearing"
+/// between candidates is a single counter bump. The arrays grow with
+/// power-of-two headroom over the cluster-id space and then stay put —
+/// steady-state scoring performs zero heap allocation (the
+/// `tsbuild.scratch_reuses` counter tracks exactly that).
+///
+/// Create one per `CREATEPOOL` scoring worker plus one for the merge
+/// loop's lazy re-evaluations, and pass it to every `evaluate_merge`
+/// call.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    /// Current generation; entries stamped differently are dead.
+    generation: u64,
+    /// Cross-term mass per parent cluster id.
+    cross: Vec<f64>,
+    /// Stamps validating `cross` entries.
+    cross_stamp: Vec<u64>,
+    /// Parent-side dedup stamps (the set `parents_seen` used to fake
+    /// with a `FxHashMap<u32, ()>`).
+    seen_stamp: Vec<u64>,
+    /// Binary searches performed by the current evaluation; flushed to
+    /// the `tsbuild.stat_bsearch` counter once per call.
+    bsearches: u64,
+}
+
+impl ScoreScratch {
+    /// A fresh scratch; the arrays grow on first use.
+    pub fn new() -> ScoreScratch {
+        ScoreScratch::default()
+    }
+
+    /// Opens a new generation able to address cluster ids `< n`.
+    fn begin(&mut self, n: usize) {
+        self.generation = self.generation.wrapping_add(1);
+        self.bsearches = 0;
+        if self.cross.len() < n {
+            // Power-of-two headroom: a handful of growths per build,
+            // every later call is a pure reuse.
+            let cap = n.next_power_of_two();
+            self.cross.resize(cap, 0.0);
+            self.cross_stamp.resize(cap, 0);
+            self.seen_stamp.resize(cap, 0);
+        } else {
+            axqa_obs::counter("tsbuild.scratch_reuses", 1);
+        }
+    }
+
+    #[inline]
+    fn add_cross(&mut self, parent: u32, value: f64) {
+        let i = parent as usize;
+        if self.cross_stamp[i] == self.generation {
+            self.cross[i] += value;
+        } else {
+            self.cross_stamp[i] = self.generation;
+            self.cross[i] = value;
+        }
+    }
+
+    /// Cross-term mass accumulated for `parent` this generation.
+    #[inline]
+    fn cross_of(&self, parent: u32) -> f64 {
+        let i = parent as usize;
+        if self.cross_stamp[i] == self.generation {
+            self.cross[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// True the first time `parent` is seen this generation.
+    #[inline]
+    fn first_visit(&mut self, parent: u32) -> bool {
+        let i = parent as usize;
+        if self.seen_stamp[i] == self.generation {
+            false
+        } else {
+            self.seen_stamp[i] = self.generation;
+            true
+        }
+    }
+}
+
 /// The mutable clustering state TSBUILD and the top-down ablation operate
 /// on.
 pub struct ClusterState<'a> {
@@ -250,7 +338,39 @@ impl<'a> ClusterState<'a> {
 
     /// Cross terms `Σ_p Σ_{s∈p} n_s·K(s,a)·K(s,b)` grouped by the parent
     /// cluster `p`, computed by scanning the shorter incoming list.
-    fn cross_terms(&self, a: u32, b: u32) -> FxHashMap<u32, f64> {
+    ///
+    /// Accumulates into `scratch` (stamped dense array) instead of a
+    /// per-call hash map; the per-parent accumulation order is the scan
+    /// order of the probe list, exactly as it was with the hash map, so
+    /// the sums are bitwise identical to
+    /// [`Self::cross_terms_reference`].
+    fn cross_terms(&self, a: u32, b: u32, scratch: &mut ScoreScratch) {
+        let (probe, other) = if self.incoming[a as usize].len() <= self.incoming[b as usize].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        for &s in &self.incoming[probe as usize] {
+            scratch.bsearches = scratch.bsearches.wrapping_add(1);
+            let ka = self.k_of(s, probe);
+            if ka == 0 {
+                continue;
+            }
+            scratch.bsearches = scratch.bsearches.wrapping_add(1);
+            let kb = self.k_of(s, other);
+            if kb == 0 {
+                continue;
+            }
+            let n_s = self.stable.node(SynNodeId(s)).extent as f64;
+            scratch.add_cross(self.cluster_of[s as usize], n_s * ka as f64 * kb as f64);
+        }
+    }
+
+    /// Reference implementation of the cross-term computation, retained
+    /// from the pre-scratch kernel: a per-call hash-map accumulation.
+    /// The merge-kernel proptests pin the scratch-based path against it;
+    /// it is not on any hot path.
+    pub fn cross_terms_reference(&self, a: u32, b: u32) -> FxHashMap<u32, f64> {
         let mut cross: FxHashMap<u32, f64> = FxHashMap::default();
         let (probe, other) = if self.incoming[a as usize].len() <= self.incoming[b as usize].len() {
             (a, b)
@@ -281,11 +401,12 @@ impl<'a> ClusterState<'a> {
     }
 
     /// Evaluates the merge of live clusters `a` and `b` (same label)
-    /// without applying it.
+    /// without applying it. The caller provides a [`ScoreScratch`];
+    /// steady-state evaluation performs no heap allocation.
     ///
     /// # Panics
     /// Panics (debug) if the clusters are dead, equal, or differ in label.
-    pub fn evaluate_merge(&self, a: u32, b: u32) -> MergeDelta {
+    pub fn evaluate_merge(&self, a: u32, b: u32, scratch: &mut ScoreScratch) -> MergeDelta {
         debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
         debug_assert_eq!(
             self.clusters[a as usize].label,
@@ -297,7 +418,8 @@ impl<'a> ClusterState<'a> {
         let nb = cb.elem_count as f64;
         let nc = na + nb;
 
-        let cross = self.cross_terms(a, b);
+        scratch.begin(self.clusters.len());
+        self.cross_terms(a, b, scratch);
 
         // --- Child side: err of the merged cluster vs err(a) + err(b).
         let mut new_child_err = 0.0f64;
@@ -339,6 +461,106 @@ impl<'a> ClusterState<'a> {
         if has_self {
             // Self-loop target: members of a∪b with edges into a or b;
             // K values combine, adding the exact cross term.
+            let self_cross = scratch.cross_of(a) + scratch.cross_of(b);
+            self_stat.sum2 += 2.0 * self_cross;
+            new_child_err += self_stat.err(nc);
+            new_child_edges += 1;
+        }
+        let old_child_err = ca.err_total() + cb.err_total();
+        let mut errd = new_child_err - old_child_err;
+        let child_edges_removed = ca.stats.len() + cb.stats.len() - new_child_edges;
+
+        // --- Parent side: clusters (≠ a, b) with edges into a or b,
+        //     deduplicated by generation stamp.
+        let mut parent_edges_removed = 0usize;
+        for list in [&self.incoming[a as usize], &self.incoming[b as usize]] {
+            for &s in list.iter() {
+                let p = self.cluster_of[s as usize];
+                if p == a || p == b {
+                    continue;
+                }
+                if !scratch.first_visit(p) {
+                    continue;
+                }
+                let cp = &self.clusters[p as usize];
+                let np = cp.elem_count as f64;
+                scratch.bsearches = scratch.bsearches.wrapping_add(2);
+                let stat_a = cp.stat(a);
+                let stat_b = cp.stat(b);
+                let had_a = stat_a.sum > 0.0;
+                let had_b = stat_b.sum > 0.0;
+                if had_a && had_b {
+                    parent_edges_removed += 1;
+                }
+                let old = stat_a.err(np) + stat_b.err(np);
+                let mut merged = stat_a;
+                merged.add(stat_b);
+                merged.sum2 += 2.0 * scratch.cross_of(p);
+                errd += merged.err(np) - old;
+            }
+        }
+        axqa_obs::counter("tsbuild.stat_bsearch", scratch.bsearches);
+
+        let sized = self.model.node_bytes
+            + self.model.edge_bytes * (child_edges_removed + parent_edges_removed);
+        MergeDelta { errd, sized }
+    }
+
+    /// Reference implementation of [`Self::evaluate_merge`], retained
+    /// from the pre-scratch kernel (per-call hash maps instead of
+    /// stamped arrays). Produces a bitwise-identical [`MergeDelta`]; the
+    /// proptests in `tests/proptest_merge_kernel.rs` enforce exactly
+    /// that. Not on any hot path.
+    pub fn evaluate_merge_reference(&self, a: u32, b: u32) -> MergeDelta {
+        debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
+        debug_assert_eq!(
+            self.clusters[a as usize].label,
+            self.clusters[b as usize].label
+        );
+        let ca = &self.clusters[a as usize];
+        let cb = &self.clusters[b as usize];
+        let na = ca.elem_count as f64;
+        let nb = cb.elem_count as f64;
+        let nc = na + nb;
+
+        let cross = self.cross_terms_reference(a, b);
+
+        // --- Child side: err of the merged cluster vs err(a) + err(b).
+        let mut new_child_err = 0.0f64;
+        let mut new_child_edges = 0usize;
+        let mut self_stat = EdgeStat::default(); // target c after rename
+        let mut has_self = false;
+        {
+            let mut i = 0;
+            let mut j = 0;
+            let sa = &ca.stats;
+            let sb = &cb.stats;
+            let mut handle = |target: u32, stat: EdgeStat| {
+                if target == a || target == b {
+                    self_stat.add(stat);
+                    has_self = true;
+                } else {
+                    new_child_err += stat.err(nc);
+                    new_child_edges += 1;
+                }
+            };
+            while i < sa.len() || j < sb.len() {
+                if j >= sb.len() || (i < sa.len() && sa[i].0 < sb[j].0) {
+                    handle(sa[i].0, sa[i].1);
+                    i += 1;
+                } else if i >= sa.len() || sb[j].0 < sa[i].0 {
+                    handle(sb[j].0, sb[j].1);
+                    j += 1;
+                } else {
+                    let mut merged = sa[i].1;
+                    merged.add(sb[j].1);
+                    handle(sa[i].0, merged);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if has_self {
             let self_cross =
                 cross.get(&a).copied().unwrap_or(0.0) + cross.get(&b).copied().unwrap_or(0.0);
             self_stat.sum2 += 2.0 * self_cross;
@@ -388,7 +610,13 @@ impl<'a> ClusterState<'a> {
         debug_assert!(a != b && self.is_alive(a) && self.is_alive(b));
         let c = axqa_xml::dense_id(self.clusters.len());
 
-        // -- Capture old error contributions of everything we will touch.
+        // -- Capture the error/edge mass the merge will replace. The
+        //    accounting is O(affected): a's and b's own contributions
+        //    (which the merge consumes anyway) plus, per parent, only
+        //    its entries for targets a and b — never a full `err_total`
+        //    scan over a parent's untouched entries. Parent stats list
+        //    lengths are O(1) reads whose unchanged part cancels in the
+        //    edge delta below.
         let incoming_ab: Vec<u32> = {
             let mut v = self.incoming[a as usize].clone();
             v.extend_from_slice(&self.incoming[b as usize]);
@@ -396,8 +624,6 @@ impl<'a> ClusterState<'a> {
             v.dedup();
             v
         };
-        let mut old_contrib =
-            self.clusters[a as usize].err_total() + self.clusters[b as usize].err_total();
         let mut parent_set: Vec<u32> = incoming_ab
             .iter()
             .map(|&s| self.cluster_of[s as usize])
@@ -405,13 +631,15 @@ impl<'a> ClusterState<'a> {
             .collect();
         parent_set.sort_unstable();
         parent_set.dedup();
-        for &p in &parent_set {
-            old_contrib += self.clusters[p as usize].err_total();
-        }
+        let mut old_contrib =
+            self.clusters[a as usize].err_total() + self.clusters[b as usize].err_total();
         let mut old_edges =
             self.clusters[a as usize].stats.len() + self.clusters[b as usize].stats.len();
         for &p in &parent_set {
-            old_edges += self.clusters[p as usize].stats.len();
+            let cp = &self.clusters[p as usize];
+            let np = cp.elem_count as f64;
+            old_contrib += cp.stat(a).err(np) + cp.stat(b).err(np);
+            old_edges += cp.stats.len();
         }
 
         // -- 1. Create cluster c, reassign membership.
@@ -498,7 +726,10 @@ impl<'a> ClusterState<'a> {
         self.incoming[a as usize] = Vec::new();
         self.incoming[b as usize] = Vec::new();
 
-        // -- 5. Refresh global accounting and version stamps.
+        // -- 5. Refresh global accounting from the per-entry deltas and
+        //       bump version stamps. Each parent contributes only its
+        //       (new) entry for target c; the debug cross-check below
+        //       guards the incremental bookkeeping against drift.
         let mut new_contrib = self.clusters[c as usize].err_total();
         let mut new_edges = self.clusters[c as usize].stats.len();
         for &p in &parent_set {
@@ -506,14 +737,17 @@ impl<'a> ClusterState<'a> {
             // are untouched by membership changes (only a, b died), but a
             // parent could *be* c only if it was a or b, which the set
             // excludes.
-            new_contrib += self.clusters[p as usize].err_total();
-            new_edges += self.clusters[p as usize].stats.len();
+            let cp = &self.clusters[p as usize];
+            let np = cp.elem_count as f64;
+            new_contrib += cp.stat(c).err(np);
+            new_edges += cp.stats.len();
             self.version[p as usize] = self.version[p as usize].wrapping_add(1);
         }
         self.version[c as usize] = 1;
         self.total_sq += new_contrib - old_contrib;
         self.total_sq = self.total_sq.max(0.0);
         self.total_edges = self.total_edges + new_edges - old_edges;
+        self.debug_check_aggregates("apply_merge");
         c
     }
 
@@ -543,7 +777,38 @@ impl<'a> ClusterState<'a> {
 
     /// Recomputes a stable node's child counts from the skeleton (used
     /// after splits, where incremental rewriting is not worthwhile).
+    ///
+    /// Rebuilds the sorted list in place — push raw `(cluster, k)`
+    /// pairs, sort by cluster id, coalesce adjacent runs — so the hot
+    /// path needs no hash-map accumulation and, once the list has
+    /// capacity, no allocation.
     fn recompute_child_k(&mut self, s: u32) {
+        let Self {
+            stable,
+            cluster_of,
+            child_k,
+            ..
+        } = self;
+        let list = &mut child_k[s as usize];
+        list.clear();
+        for &(t, k) in &stable.node(SynNodeId(s)).children {
+            list.push((cluster_of[t.index()], u64::from(k)));
+        }
+        list.sort_unstable_by_key(|&(t, _)| t);
+        list.dedup_by(|cur, acc| {
+            if cur.0 == acc.0 {
+                acc.1 = acc.1.saturating_add(cur.1);
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// Reference recomputation of a stable node's child counts via
+    /// hash-map accumulation (the pre-merge-join implementation);
+    /// proptest oracle for the sort-and-coalesce rewrite.
+    pub fn recompute_child_k_reference(&self, s: u32) -> Vec<(u32, u64)> {
         let mut acc: FxHashMap<u32, u64> = FxHashMap::default();
         for &(t, k) in &self.stable.node(SynNodeId(s)).children {
             let slot = acc.entry(self.cluster_of[t.index()]).or_insert(0);
@@ -551,14 +816,54 @@ impl<'a> ClusterState<'a> {
         }
         let mut list: Vec<(u32, u64)> = acc.into_iter().collect();
         list.sort_unstable_by_key(|&(t, _)| t);
-        self.child_k[s as usize] = list;
+        list
     }
 
-    /// Recomputes a cluster's stats from its members' child counts.
+    /// Recomputes a cluster's stats from its members' child counts via
+    /// a sort over `(target, visit order)` pairs followed by a coalesce:
+    /// the per-target accumulation order equals the member-iteration
+    /// order of the hash-map version
+    /// ([`Self::recompute_stats_reference`]), so the resulting sums are
+    /// bitwise identical.
     fn recompute_stats(&mut self, id: u32) {
         let members = std::mem::take(&mut self.clusters[id as usize].members);
-        let mut acc: FxHashMap<u32, EdgeStat> = FxHashMap::default();
+        let raw_len: usize = members
+            .iter()
+            .map(|&s| self.child_k[s as usize].len())
+            .sum();
+        let mut raw: Vec<(u32, usize, EdgeStat)> = Vec::with_capacity(raw_len);
         for &s in &members {
+            let n_s = self.stable.node(SynNodeId(s)).extent as f64;
+            for &(t, k) in &self.child_k[s as usize] {
+                raw.push((
+                    t,
+                    raw.len(),
+                    EdgeStat {
+                        sum: n_s * k as f64,
+                        sum2: n_s * k as f64 * k as f64,
+                    },
+                ));
+            }
+        }
+        raw.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
+        let mut stats: Vec<(u32, EdgeStat)> = Vec::with_capacity(raw.len());
+        for &(t, _, stat) in &raw {
+            match stats.last_mut() {
+                Some(last) if last.0 == t => last.1.add(stat),
+                _ => stats.push((t, stat)),
+            }
+        }
+        self.clusters[id as usize].members = members;
+        self.clusters[id as usize].stats = stats;
+        self.version[id as usize] = self.version[id as usize].wrapping_add(1);
+    }
+
+    /// Reference recomputation of a cluster's stats via hash-map
+    /// accumulation (the pre-merge-join implementation); proptest
+    /// oracle for [`Self::recompute_stats`]'s sort-and-coalesce rewrite.
+    pub fn recompute_stats_reference(&self, id: u32) -> Vec<(u32, EdgeStat)> {
+        let mut acc: FxHashMap<u32, EdgeStat> = FxHashMap::default();
+        for &s in &self.clusters[id as usize].members {
             let n_s = self.stable.node(SynNodeId(s)).extent as f64;
             for &(t, k) in &self.child_k[s as usize] {
                 let e = acc.entry(t).or_default();
@@ -568,9 +873,7 @@ impl<'a> ClusterState<'a> {
         }
         let mut stats: Vec<(u32, EdgeStat)> = acc.into_iter().collect();
         stats.sort_unstable_by_key(|&(t, _)| t);
-        self.clusters[id as usize].members = members;
-        self.clusters[id as usize].stats = stats;
-        self.version[id as usize] = self.version[id as usize].wrapping_add(1);
+        stats
     }
 
     /// Splits a live cluster into two new clusters along a member
@@ -581,8 +884,13 @@ impl<'a> ClusterState<'a> {
         debug_assert!(self.is_alive(id));
         let members = std::mem::take(&mut self.clusters[id as usize].members);
         debug_assert!(!part.is_empty() && part.len() < members.len());
-        let in_part: std::collections::HashSet<u32> = part.iter().copied().collect();
-        let (m1, m2): (Vec<u32>, Vec<u32>) = members.into_iter().partition(|s| in_part.contains(s));
+        // Sorted-slice membership: one sort of the (small) part plus a
+        // binary search per member, instead of hashing every member.
+        let mut in_part: Vec<u32> = part.to_vec();
+        in_part.sort_unstable();
+        let (m1, m2): (Vec<u32>, Vec<u32>) = members
+            .into_iter()
+            .partition(|s| in_part.binary_search(s).is_ok());
 
         // Global error is recomputed for the affected clusters; capture
         // old contributions first. Affected: id itself and the clusters
@@ -694,7 +1002,42 @@ impl<'a> ClusterState<'a> {
         self.total_sq += new_contrib - old_contrib;
         self.total_sq = self.total_sq.max(0.0);
         self.total_edges = self.total_edges + new_edges - old_edges;
+        self.debug_check_aggregates("apply_split");
         (u1, u2)
+    }
+
+    /// The current per-cluster child counts of a stable node (sorted by
+    /// cluster id) — diagnostics and test oracles.
+    pub fn child_counts(&self, stable_node: u32) -> &[(u32, u64)] {
+        &self.child_k[stable_node as usize]
+    }
+
+    /// Debug-build cross-check of the incrementally-maintained
+    /// `total_sq`/`total_edges` aggregates against full recomputation.
+    /// Skipped on larger states to keep debug test suites fast; the
+    /// randomized determinism tests cover long merge/split sequences
+    /// explicitly.
+    fn debug_check_aggregates(&self, context: &str) {
+        if !cfg!(debug_assertions) || self.stable.len() > 512 {
+            return;
+        }
+        let slow = self.squared_error_slow();
+        debug_assert!(
+            (slow - self.total_sq).abs() <= 1e-6 * slow.abs().max(1.0),
+            "{context}: incremental total_sq {} drifted from recomputed {}",
+            self.total_sq,
+            slow
+        );
+        let edges: usize = self
+            .clusters
+            .iter()
+            .filter(|c| c.alive)
+            .map(|c| c.stats.len())
+            .sum();
+        debug_assert_eq!(
+            self.total_edges, edges,
+            "{context}: incremental total_edges drifted from recount"
+        );
     }
 
     /// Extracts the current partition as an immutable [`TreeSketch`]
@@ -971,6 +1314,7 @@ mod tests {
         let stable = build_stable(&doc);
         let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
         state.verify().unwrap();
+        let mut scratch = ScoreScratch::new();
         loop {
             // Find any live same-label pair and merge it.
             let ids: Vec<u32> = state.alive_ids().collect();
@@ -978,7 +1322,7 @@ mod tests {
             'outer: for (i, &a) in ids.iter().enumerate() {
                 for &b in &ids[i + 1..] {
                     if state.cluster(a).label == state.cluster(b).label {
-                        let delta = state.evaluate_merge(a, b);
+                        let delta = state.evaluate_merge(a, b, &mut scratch);
                         let before = state.squared_error();
                         let before_size = state.size_bytes();
                         let c = state.apply_merge(a, b);
@@ -1073,9 +1417,15 @@ mod tests {
             .filter(|&id| state.cluster(id).label == a_label)
             .collect();
         let before = state.squared_error();
-        let d1 = state.evaluate_merge(a_clusters[0], a_clusters[1]);
-        let d2 = state.evaluate_merge(a_clusters[0], a_clusters[1]);
+        let mut scratch = ScoreScratch::new();
+        let d1 = state.evaluate_merge(a_clusters[0], a_clusters[1], &mut scratch);
+        let d2 = state.evaluate_merge(a_clusters[0], a_clusters[1], &mut scratch);
         assert_eq!(d1, d2);
+        // The scratch path is bitwise-identical to the retained
+        // hash-map reference implementation.
+        let d3 = state.evaluate_merge_reference(a_clusters[0], a_clusters[1]);
+        assert_eq!(d1.errd.to_bits(), d3.errd.to_bits());
+        assert_eq!(d1.sized, d3.sized);
         assert_eq!(state.squared_error(), before);
         state.verify().unwrap();
     }

@@ -22,6 +22,7 @@ use crate::sketch::{TreeSketch, TsNodeId};
 use axqa_query::{Axis, QVar, ResolvedPath, ResolvedStep, TwigQuery};
 use axqa_xml::fxhash::FxHashMap;
 use axqa_xml::{LabelId, LabelTable};
+use std::collections::hash_map::Entry;
 
 /// Evaluation knobs.
 #[derive(Debug, Clone)]
@@ -123,6 +124,123 @@ impl ResultSketch {
     }
 }
 
+/// Insertion-ordered weight accumulator: an `FxHashMap` keyed index
+/// into a dense entry vector. Iteration follows first-insertion order,
+/// so pooled reuse across queries cannot perturb accumulation order
+/// (and therefore float results) the way reusing a raw hash map's
+/// capacity-dependent iteration order would.
+#[derive(Debug)]
+struct WeightMap<K> {
+    index: FxHashMap<K, u32>,
+    entries: Vec<(K, f64)>,
+}
+
+impl<K> Default for WeightMap<K> {
+    fn default() -> Self {
+        WeightMap {
+            index: FxHashMap::default(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Copy> WeightMap<K> {
+    fn add(&mut self, key: K, weight: f64) {
+        match self.index.entry(key) {
+            Entry::Occupied(slot) => {
+                self.entries[*slot.get() as usize].1 += weight;
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(axqa_xml::dense_id(self.entries.len()));
+                self.entries.push((key, weight));
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.entries.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn entries(&self) -> &[(K, f64)] {
+        &self.entries
+    }
+}
+
+/// Reusable workspace for [`eval_query_with_scratch`]: the result-graph
+/// buffers plus pools of the subset-automaton frontier/endpoint maps, so
+/// a serving loop evaluating many twigs over one synopsis (§4.3) stops
+/// paying per-query allocation once the buffers reach steady state.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    nodes: Vec<RNode>,
+    by_var: Vec<Vec<u32>>,
+    node_index: FxHashMap<(u32, u32), u32>,
+    sorted: Vec<(TsNodeId, f64)>,
+    keep: Vec<bool>,
+    alive: Vec<bool>,
+    remap: Vec<u32>,
+    /// Pooled `(node, state-set) -> weight` frontier maps. The pattern
+    /// walk is re-entrant (branch predicates recurse into
+    /// `path_counts`), so maps are acquired/released rather than owned.
+    state_pool: Vec<WeightMap<(TsNodeId, u64)>>,
+    /// Pooled per-endpoint count maps (`path_counts` results).
+    count_pool: Vec<WeightMap<TsNodeId>>,
+    /// Pooled uncertain-advance buffers (`consume_edge` locals).
+    uncertain_pool: Vec<Vec<(u64, f64)>>,
+}
+
+impl EvalScratch {
+    /// Fresh, empty workspace for the §4.3 serving loop.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    fn begin(&mut self, num_vars: usize) {
+        self.nodes.clear();
+        self.node_index.clear();
+        for list in &mut self.by_var {
+            list.clear();
+        }
+        self.by_var.resize_with(num_vars, Vec::new);
+    }
+
+    fn acquire_states(&mut self) -> WeightMap<(TsNodeId, u64)> {
+        self.state_pool.pop().unwrap_or_default()
+    }
+
+    fn release_states(&mut self, mut map: WeightMap<(TsNodeId, u64)>) {
+        map.clear();
+        self.state_pool.push(map);
+    }
+
+    fn acquire_counts(&mut self) -> WeightMap<TsNodeId> {
+        self.count_pool.pop().unwrap_or_default()
+    }
+
+    fn release_counts(&mut self, mut map: WeightMap<TsNodeId>) {
+        map.clear();
+        self.count_pool.push(map);
+    }
+
+    fn acquire_uncertain(&mut self) -> Vec<(u64, f64)> {
+        self.uncertain_pool.pop().unwrap_or_default()
+    }
+
+    fn release_uncertain(&mut self, mut buf: Vec<(u64, f64)>) {
+        buf.clear();
+        self.uncertain_pool.push(buf);
+    }
+}
+
 /// `EVALQUERY` (Fig. 7): evaluates `query` over `sketch`, returning the
 /// result sketch, or `None` when a required variable ends up with no
 /// bindings (lines 15–16: the approximate answer is empty).
@@ -158,6 +276,20 @@ pub fn eval_query_with_values(
     config: &EvalConfig,
     values: Option<&crate::values::ValueIndex>,
 ) -> Option<ResultSketch> {
+    let mut scratch = EvalScratch::new();
+    eval_query_with_scratch(sketch, query, config, values, &mut scratch)
+}
+
+/// [`eval_query_with_values`] over a caller-owned [`EvalScratch`]: one
+/// workspace amortizes the §4.3 evaluation buffers (result graph,
+/// automaton frontiers, endpoint maps) across a whole query workload.
+pub fn eval_query_with_scratch(
+    sketch: &TreeSketch,
+    query: &TwigQuery,
+    config: &EvalConfig,
+    values: Option<&crate::values::ValueIndex>,
+    scratch: &mut EvalScratch,
+) -> Option<ResultSketch> {
     let _span = axqa_obs::span_with("EVALQUERY", "vars", query.num_vars() as u64);
     let labels = sketch.labels();
     let resolved: Vec<ResolvedPath> = query
@@ -175,58 +307,63 @@ pub fn eval_query_with_values(
         values,
     };
 
-    let mut nodes: Vec<RNode> = vec![RNode {
+    scratch.begin(query.num_vars());
+    scratch.nodes.push(RNode {
         ts: sketch.root(),
         var: QVar::ROOT,
         label: sketch.node(sketch.root()).label,
         ext: 1.0,
         edges: Vec::new(),
-    }];
-    let mut by_var: Vec<Vec<u32>> = vec![Vec::new(); query.num_vars()];
-    by_var[0].push(0);
-    let mut node_index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-    node_index.insert((sketch.root().0, 0), 0);
+    });
+    scratch.by_var[0].push(0);
+    scratch.node_index.insert((sketch.root().0, 0), 0);
 
     // Pre-order over variables: numeric order is parent-before-child.
+    // Iteration is by index because the inner body appends bindings of
+    // the strictly deeper variable `qc` (never `var`).
     for var in query.vars() {
         for qc in query.children(var) {
             let path = &resolved[qc.index() - 1];
-            let bind = by_var[var.index()].clone();
-            for uq in bind {
-                let context = nodes[uq as usize].ts;
-                let counts = walker.path_counts(context, &path.steps);
-                let src_ext = nodes[uq as usize].ext;
-                let mut sorted: Vec<(TsNodeId, f64)> = counts.into_iter().collect();
+            for bi in 0..scratch.by_var[var.index()].len() {
+                let uq = scratch.by_var[var.index()][bi];
+                let context = scratch.nodes[uq as usize].ts;
+                let counts = walker.path_counts(context, &path.steps, scratch);
+                let src_ext = scratch.nodes[uq as usize].ext;
+                let mut sorted = std::mem::take(&mut scratch.sorted);
+                sorted.clear();
+                sorted.extend_from_slice(counts.entries());
+                scratch.release_counts(counts);
                 sorted.sort_unstable_by_key(|&(v, _)| v);
-                for (v, k) in sorted {
+                for &(v, k) in &sorted {
                     if k <= config.epsilon {
                         continue;
                     }
                     let key = (v.0, qc.0);
-                    let vq = match node_index.get(&key) {
+                    let vq = match scratch.node_index.get(&key) {
                         Some(&vq) => vq,
                         None => {
-                            let vq = axqa_xml::dense_id(nodes.len());
-                            nodes.push(RNode {
+                            let vq = axqa_xml::dense_id(scratch.nodes.len());
+                            scratch.nodes.push(RNode {
                                 ts: v,
                                 var: qc,
                                 label: sketch.node(v).label,
                                 ext: 0.0,
                                 edges: Vec::new(),
                             });
-                            node_index.insert(key, vq);
-                            by_var[qc.index()].push(vq);
+                            scratch.node_index.insert(key, vq);
+                            scratch.by_var[qc.index()].push(vq);
                             vq
                         }
                     };
-                    nodes[vq as usize].ext += src_ext * k;
+                    scratch.nodes[vq as usize].ext += src_ext * k;
                     // count(uQ, vQ) += k (Fig. 7 line 12).
-                    let edges = &mut nodes[uq as usize].edges;
+                    let edges = &mut scratch.nodes[uq as usize].edges;
                     match edges.iter_mut().find(|(t, _)| *t == vq) {
                         Some((_, c)) => *c += k,
                         None => edges.push((vq, k)),
                     }
                 }
+                scratch.sorted = sorted;
             }
         }
     }
@@ -237,9 +374,11 @@ pub fn eval_query_with_values(
     // homogeneous, so this reproduces the exact nesting tree's
     // bottom-up pruning; the paper's global emptiness check is the
     // root-level special case.
-    let mut keep = vec![true; nodes.len()];
-    for i in (0..nodes.len()).rev() {
-        let node = &nodes[i];
+    let mut keep = std::mem::take(&mut scratch.keep);
+    keep.clear();
+    keep.resize(scratch.nodes.len(), true);
+    for i in (0..scratch.nodes.len()).rev() {
+        let node = &scratch.nodes[i];
         for qc in query.children(node.var) {
             if query.node(qc).optional {
                 continue;
@@ -247,7 +386,7 @@ pub fn eval_query_with_values(
             let mass: f64 = node
                 .edges
                 .iter()
-                .filter(|&&(t, _)| nodes[t as usize].var == qc && keep[t as usize])
+                .filter(|&&(t, _)| scratch.nodes[t as usize].var == qc && keep[t as usize])
                 .map(|&(_, k)| k)
                 .sum();
             if mass <= config.epsilon {
@@ -257,27 +396,32 @@ pub fn eval_query_with_values(
         }
     }
     if !keep[0] {
+        scratch.keep = keep;
         return None;
     }
     // Compact: keep only nodes that survive pruning *and* stay
     // reachable from the root through surviving nodes (a survivor can
     // hang under a pruned ancestor). Nodes are parent-before-child and
     // edges point forward, so one forward pass settles reachability.
-    let mut alive = vec![false; nodes.len()];
+    let mut alive = std::mem::take(&mut scratch.alive);
+    alive.clear();
+    alive.resize(scratch.nodes.len(), false);
     alive[0] = true;
-    for i in 0..nodes.len() {
+    for i in 0..scratch.nodes.len() {
         if !alive[i] {
             continue;
         }
-        for &(t, _) in &nodes[i].edges {
+        for &(t, _) in &scratch.nodes[i].edges {
             if keep[t as usize] {
                 alive[t as usize] = true;
             }
         }
     }
-    let mut remap = vec![u32::MAX; nodes.len()];
+    let mut remap = std::mem::take(&mut scratch.remap);
+    remap.clear();
+    remap.resize(scratch.nodes.len(), u32::MAX);
     let mut compact: Vec<RNode> = Vec::new();
-    for (i, node) in nodes.iter().enumerate() {
+    for (i, node) in scratch.nodes.iter().enumerate() {
         if !alive[i] {
             continue;
         }
@@ -300,11 +444,15 @@ pub fn eval_query_with_values(
             *t = remap[*t as usize];
         }
     }
+    scratch.keep = keep;
+    scratch.alive = alive;
+    scratch.remap = remap;
     // Recompute binding extents top-down over the pruned graph.
     compact[0].ext = 1.0;
     for i in 0..compact.len() {
-        let (ext, edges) = (compact[i].ext, compact[i].edges.clone());
-        for (t, k) in edges {
+        let ext = compact[i].ext;
+        for e in 0..compact[i].edges.len() {
+            let (t, k) = compact[i].edges[e];
             compact[t as usize].ext += ext * k;
         }
     }
@@ -349,9 +497,9 @@ struct PatternRun<'p> {
     /// Bitmask of the accepting automaton position (`1 << steps.len()`).
     accept: u64,
     /// Surviving partial paths for the next frontier level.
-    next: FxHashMap<(TsNodeId, u64), f64>,
+    next: WeightMap<(TsNodeId, u64)>,
     /// Accepted path weight per endpoint.
-    out: FxHashMap<TsNodeId, f64>,
+    out: WeightMap<TsNodeId>,
     /// Embeddings reaching the accepting position (EVALEMBED work,
     /// accumulated locally and flushed to `evalquery.embeddings_expanded`
     /// once per pattern run — no per-edge counter traffic).
@@ -372,10 +520,15 @@ impl Walker<'_> {
     /// nested `a`s) still counts each endpoint element once, matching
     /// the exact evaluator's binding semantics and keeping estimates
     /// exact on count-stable synopses (Theorem 4.2).
-    fn path_counts(&self, from: TsNodeId, steps: &[ResolvedStep]) -> FxHashMap<TsNodeId, f64> {
-        let mut out: FxHashMap<TsNodeId, f64> = FxHashMap::default();
+    fn path_counts(
+        &self,
+        from: TsNodeId,
+        steps: &[ResolvedStep],
+        scratch: &mut EvalScratch,
+    ) -> WeightMap<TsNodeId> {
+        let mut out = scratch.acquire_counts();
         if steps.is_empty() {
-            out.insert(from, 1.0);
+            out.add(from, 1.0);
             return out;
         }
         let m = steps.len();
@@ -396,12 +549,12 @@ impl Walker<'_> {
             .sum();
 
         // Frontier of partial paths, merged by (node, state set).
-        let mut frontier: FxHashMap<(TsNodeId, u64), f64> = FxHashMap::default();
-        frontier.insert((from, 1), 1.0);
+        let mut frontier = scratch.acquire_states();
+        frontier.add((from, 1), 1.0);
         let mut run = PatternRun {
             steps,
             accept,
-            next: FxHashMap::default(),
+            next: scratch.acquire_states(),
             out,
             expanded: 0,
         };
@@ -411,35 +564,48 @@ impl Walker<'_> {
                 break;
             }
             states = states.saturating_add(frontier.len() as u64);
-            for (&(u, set), &weight) in &frontier {
+            for fi in 0..frontier.len() {
+                let ((u, set), weight) = frontier.entries()[fi];
                 for &(v, c) in &self.sketch.node(u).edges {
                     let base = weight * c;
                     if base <= self.epsilon {
                         continue;
                     }
-                    self.consume_edge(v, set, base, &mut run);
+                    self.consume_edge(v, set, base, &mut run, scratch);
                 }
             }
-            frontier = std::mem::take(&mut run.next);
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut run.next);
         }
         axqa_obs::counter("evalquery.automaton_states", states);
         axqa_obs::counter("evalquery.embeddings_expanded", run.expanded);
-        run.out
+        let PatternRun { next, out, .. } = run;
+        scratch.release_states(frontier);
+        scratch.release_states(next);
+        out
     }
 
     /// Advances the subset-automaton state `set` across one synopsis
     /// edge into `v`, crediting accepted paths to `run.out` and
     /// surviving partial paths to `run.next`.
-    fn consume_edge(&self, v: TsNodeId, set: u64, base: f64, run: &mut PatternRun<'_>) {
+    fn consume_edge(
+        &self,
+        v: TsNodeId,
+        set: u64,
+        base: f64,
+        run: &mut PatternRun<'_>,
+        scratch: &mut EvalScratch,
+    ) {
         let label = self.sketch.node(v).label;
+        let steps = run.steps;
         // `stay`: positions whose next step is a descendant axis keep
         // consuming filler edges. `certain`: advances that always
         // succeed. `uncertain`: advances gated by a fractional branch /
         // value selectivity — each splits the path flow in two.
         let mut stay: u64 = 0;
         let mut certain: u64 = 0;
-        let mut uncertain: Vec<(u64, f64)> = Vec::new();
-        for (i, step) in run.steps.iter().enumerate() {
+        let mut uncertain = scratch.acquire_uncertain();
+        for (i, step) in steps.iter().enumerate() {
             if set & (1u64 << i) == 0 {
                 continue;
             }
@@ -447,7 +613,7 @@ impl Walker<'_> {
                 stay |= 1u64 << i;
             }
             if step.label == Some(label) {
-                let s = self.step_selectivity(v, step);
+                let s = self.step_selectivity(v, step, scratch);
                 let advanced = 1u64 << (i + 1);
                 if s >= 1.0 {
                     certain |= advanced;
@@ -468,6 +634,7 @@ impl Walker<'_> {
                 certain |= bits;
                 joint *= s;
             }
+            scratch.release_uncertain(uncertain);
             self.emit(v, stay | certain, base * joint, run);
             return;
         }
@@ -487,6 +654,7 @@ impl Walker<'_> {
             }
             self.emit(v, new_set, base * p, run);
         }
+        scratch.release_uncertain(uncertain);
     }
 
     /// Records one partial-path outcome: credit acceptance, then keep
@@ -496,20 +664,25 @@ impl Walker<'_> {
             return;
         }
         if set & run.accept != 0 {
-            *run.out.entry(v).or_insert(0.0) += weight;
+            run.out.add(v, weight);
             run.expanded = run.expanded.saturating_add(1);
         }
         // The accepting position has no outgoing transitions; drop it
         // from the live set before extending.
         let live = set & !run.accept;
         if live != 0 {
-            *run.next.entry((v, live)).or_insert(0.0) += weight;
+            run.next.add((v, live), weight);
         }
     }
 
     /// Product of the step's branch selectivities at `node` (independence
     /// across predicates, §4.3).
-    fn step_selectivity(&self, node: TsNodeId, step: &ResolvedStep) -> f64 {
+    fn step_selectivity(
+        &self,
+        node: TsNodeId,
+        step: &ResolvedStep,
+        scratch: &mut EvalScratch,
+    ) -> f64 {
         let mut s = 1.0;
         if !step.value_preds.is_empty() {
             if let Some(values) = self.values {
@@ -520,7 +693,7 @@ impl Walker<'_> {
             }
         }
         for predicate in &step.predicates {
-            s *= self.branch_selectivity(node, predicate);
+            s *= self.branch_selectivity(node, predicate, scratch);
             if s <= self.epsilon {
                 return 0.0;
             }
@@ -530,18 +703,29 @@ impl Walker<'_> {
 
     /// `EVALEMBED` lines 2–13: selectivity of one branching predicate at
     /// `node`.
-    fn branch_selectivity(&self, node: TsNodeId, predicate: &ResolvedPath) -> f64 {
-        let counts = self.path_counts(node, &predicate.steps);
-        if counts.is_empty() {
-            return 0.0;
-        }
-        if counts.values().any(|&k| k >= 1.0) {
-            return 1.0; // lines 8–9: some embedding guarantees a match
-        }
-        // Line 11: inclusion–exclusion over independent per-endpoint
-        // fractions = 1 − Π(1 − k_l).
-        let miss: f64 = counts.values().map(|&k| 1.0 - k.clamp(0.0, 1.0)).product();
-        (1.0 - miss).clamp(0.0, 1.0)
+    fn branch_selectivity(
+        &self,
+        node: TsNodeId,
+        predicate: &ResolvedPath,
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        let counts = self.path_counts(node, &predicate.steps, scratch);
+        let result = if counts.is_empty() {
+            0.0
+        } else if counts.entries().iter().any(|&(_, k)| k >= 1.0) {
+            1.0 // lines 8–9: some embedding guarantees a match
+        } else {
+            // Line 11: inclusion–exclusion over independent per-endpoint
+            // fractions = 1 − Π(1 − k_l).
+            let miss: f64 = counts
+                .entries()
+                .iter()
+                .map(|&(_, k)| 1.0 - k.clamp(0.0, 1.0))
+                .product();
+            (1.0 - miss).clamp(0.0, 1.0)
+        };
+        scratch.release_counts(counts);
+        result
     }
 }
 

@@ -56,9 +56,12 @@ pub mod topdown;
 pub mod values;
 
 pub use build::{try_ts_build, ts_build, BuildConfig, BuildReport};
-pub use cluster::{ClusterState, PartitionSnapshot};
+pub use cluster::{ClusterState, PartitionSnapshot, ScoreScratch};
 pub use error::AxqaError;
-pub use eval::{eval_query, eval_query_with_values, EvalConfig, ResultSketch};
+pub use eval::{
+    eval_query, eval_query_with_scratch, eval_query_with_values, EvalConfig, EvalScratch,
+    ResultSketch,
+};
 pub use expand::{expand_result, Expansion};
 pub use selectivity::{estimate_selectivity, try_estimate_query_selectivity};
 pub use sketch::{TreeSketch, TsNodeId};

@@ -5,7 +5,9 @@
 //! runs plus machine info) so perf regressions are visible in review
 //! diffs without a CI-enforced threshold.
 
-use axqa_core::{estimate_selectivity, eval_query, ts_build, BuildConfig, EvalConfig};
+use axqa_core::{
+    estimate_selectivity, eval_query_with_scratch, ts_build, BuildConfig, EvalConfig, EvalScratch,
+};
 use axqa_datagen::workload::{positive_workload, WorkloadConfig};
 use axqa_datagen::{generate, Dataset, GenConfig};
 use axqa_query::TwigQuery;
@@ -119,6 +121,11 @@ pub struct BaselineReport {
     pub eval_total_ms: f64,
     /// Derived per-query cost in microseconds.
     pub eval_per_query_us: f64,
+    /// p50 of individual query times (µs) across all timed runs.
+    pub eval_per_query_us_p50: f64,
+    /// p95 of individual query times (µs) across all timed runs — the
+    /// tail the mean hides.
+    pub eval_per_query_us_p95: f64,
     /// Threads the parallel TSBUILD variant actually ran with
     /// (machine-info provenance: `threads` in the config block is the
     /// *requested* count, 0 meaning "all cores").
@@ -136,6 +143,26 @@ fn median_ms(samples: &mut [f64]) -> f64 {
     }
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Nearest-rank percentile (`num/den`, e.g. 95/100) over an already
+/// sorted sample vector; integer rank arithmetic keeps the index exact.
+fn percentile(sorted: &[f64], num: usize, den: usize) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[(sorted.len() - 1) * num / den]
+    }
+}
+
+/// Total recorded duration of all spans named `name`, in microseconds.
+fn span_total_us(metrics: &axqa_obs::Snapshot, name: &str) -> u64 {
+    metrics
+        .spans
+        .iter()
+        .filter(|span| span.name == name)
+        .map(|span| span.end_us.saturating_sub(span.start_us))
+        .sum()
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
@@ -182,7 +209,7 @@ pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
         ts_rows.push(bench_ts_build(config, &stable, budget_kb));
     }
 
-    let (eval_total_ms, eval_per_query_us) = bench_eval_query(config, &stable, &workload);
+    let eval = bench_eval_query(config, &stable, &workload);
     axqa_obs::uninstall();
     let threads_used = ts_rows.iter().map(|row| row.threads).max().unwrap_or(1);
     BaselineReport {
@@ -190,8 +217,10 @@ pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
         stable_build_ms,
         ts_build: ts_rows,
         eval_queries: workload.len(),
-        eval_total_ms,
-        eval_per_query_us,
+        eval_total_ms: eval.total_ms,
+        eval_per_query_us: eval.per_query_us,
+        eval_per_query_us_p50: eval.p50_us,
+        eval_per_query_us_p95: eval.p95_us,
         threads_used,
         cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         metrics: recorder.drain(),
@@ -219,21 +248,38 @@ fn bench_ts_build(config: &BaselineConfig, stable: &StableSummary, budget_kb: us
     }
 }
 
+/// EVALQUERY serving-loop timings: median total plus the per-query
+/// distribution (p50/p95 across all timed runs).
+struct EvalBench {
+    total_ms: f64,
+    per_query_us: f64,
+    p50_us: f64,
+    p95_us: f64,
+}
+
 fn bench_eval_query(
     config: &BaselineConfig,
     stable: &StableSummary,
     workload: &[TwigQuery],
-) -> (f64, f64) {
+) -> EvalBench {
     let first_budget = config.budgets_kb.first().copied().unwrap_or(10);
     let ts = ts_build(stable, &BuildConfig::with_budget(kb(first_budget))).sketch;
     let eval_config = EvalConfig::default();
+    // One scratch serves the whole workload — the steady-state serving
+    // configuration the baseline is meant to measure.
+    let mut scratch = EvalScratch::new();
+    let mut samples: Vec<f64> = Vec::with_capacity(config.runs.max(1) * workload.len());
     let total_ms = measure(config.runs, || {
         time_ms(|| {
             let mut acc = 0.0f64;
             for query in workload {
-                if let Some(result) = eval_query(&ts, query, &eval_config) {
+                let watch = axqa_obs::Stopwatch::start();
+                if let Some(result) =
+                    eval_query_with_scratch(&ts, query, &eval_config, None, &mut scratch)
+                {
                     acc += estimate_selectivity(&result, query);
                 }
+                samples.push(watch.elapsed_ms() * 1_000.0);
             }
             std::hint::black_box(acc)
         })
@@ -244,7 +290,13 @@ fn bench_eval_query(
     } else {
         total_ms * 1_000.0 / workload.len() as f64
     };
-    (total_ms, per_query_us)
+    samples.sort_by(f64::total_cmp);
+    EvalBench {
+        total_ms,
+        per_query_us,
+        p50_us: percentile(&samples, 50, 100),
+        p95_us: percentile(&samples, 95, 100),
+    }
 }
 
 fn json_f(value: f64) -> String {
@@ -256,8 +308,10 @@ fn json_f(value: f64) -> String {
 }
 
 impl BaselineReport {
-    /// Serializes the snapshot as the `axqa-bench-baseline/1` JSON
-    /// document (hand-rolled — the workspace carries no serde).
+    /// Serializes the snapshot as the `axqa-bench-baseline/2` JSON
+    /// document (hand-rolled — the workspace carries no serde). v2 adds
+    /// the `ts_build_phases` span breakdown and the per-query p50/p95
+    /// to the `eval_query` block.
     pub fn to_json(&self) -> String {
         let budgets: Vec<String> = self
             .config
@@ -284,7 +338,7 @@ impl BaselineReport {
             .collect();
         format!(
             r#"{{
-  "schema": "axqa-bench-baseline/1",
+  "schema": "axqa-bench-baseline/2",
   "machine": {{"os": "{os}", "arch": "{arch}", "cpus": {cpus}, "threads_used": {threads_used}}},
   "config": {{
     "dataset": "{dataset}",
@@ -299,7 +353,16 @@ impl BaselineReport {
   "ts_build": [
 {ts_rows}
   ],
-  "eval_query": {{"queries": {eq}, "total_ms": {et}, "per_query_us": {epq}}},
+  "ts_build_phases": {{
+    "ts_build_us": {ph_total},
+    "create_pool_us": {ph_pool},
+    "merge_loop_us": {ph_merge},
+    "merge_loop_score_us": {ph_score},
+    "merge_loop_apply_us": {ph_apply},
+    "to_sketch_us": {ph_sketch},
+    "finalize_us": {ph_finalize}
+  }},
+  "eval_query": {{"queries": {eq}, "total_ms": {et}, "per_query_us": {epq}, "per_query_us_p50": {p50}, "per_query_us_p95": {p95}}},
   "metrics": {metrics}}}
 "#,
             os = std::env::consts::OS,
@@ -315,9 +378,18 @@ impl BaselineReport {
             seed = self.config.seed,
             stable = json_f(self.stable_build_ms),
             ts_rows = ts_rows.join(",\n"),
+            ph_total = span_total_us(&self.metrics, "TSBUILD"),
+            ph_pool = span_total_us(&self.metrics, "CREATEPOOL"),
+            ph_merge = span_total_us(&self.metrics, "TSBUILD.merge_loop"),
+            ph_score = span_total_us(&self.metrics, "TSBUILD.merge_loop.score"),
+            ph_apply = span_total_us(&self.metrics, "TSBUILD.merge_loop.apply"),
+            ph_sketch = span_total_us(&self.metrics, "TSBUILD.to_sketch"),
+            ph_finalize = span_total_us(&self.metrics, "TSBUILD.finalize"),
             eq = self.eval_queries,
             et = json_f(self.eval_total_ms),
             epq = json_f(self.eval_per_query_us),
+            p50 = json_f(self.eval_per_query_us_p50),
+            p95 = json_f(self.eval_per_query_us_p95),
             metrics = axqa_obs::export::metrics_json(&self.metrics).trim_end(),
         )
     }
@@ -356,10 +428,19 @@ impl BaselineReport {
             ));
         }
         out.push_str(&format!(
-            "  eval_query: {} queries, total {} ms ({} us/query)\n",
+            "  eval_query: {} queries, total {} ms ({} us/query, p50 {} us, p95 {} us)\n",
             self.eval_queries,
             json_f(self.eval_total_ms),
             json_f(self.eval_per_query_us),
+            json_f(self.eval_per_query_us_p50),
+            json_f(self.eval_per_query_us_p95),
+        ));
+        out.push_str(&format!(
+            "  ts_build phases: create_pool {} us, merge_loop {} us (score {} us, apply {} us)\n",
+            span_total_us(&self.metrics, "CREATEPOOL"),
+            span_total_us(&self.metrics, "TSBUILD.merge_loop"),
+            span_total_us(&self.metrics, "TSBUILD.merge_loop.score"),
+            span_total_us(&self.metrics, "TSBUILD.merge_loop.apply"),
         ));
         // Provenance honesty: a speedup≈1 on a starved host is a
         // measurement artifact, not a perf regression — say so instead
@@ -410,13 +491,20 @@ mod tests {
         assert!(report.eval_queries > 0);
         let json = report.to_json();
         for key in [
-            "\"schema\": \"axqa-bench-baseline/1\"",
+            "\"schema\": \"axqa-bench-baseline/2\"",
             "\"machine\"",
             "\"cpus\"",
             "\"threads_used\"",
             "\"stable_build_ms\"",
             "\"ts_build\"",
+            "\"ts_build_phases\"",
+            "\"create_pool_us\"",
+            "\"merge_loop_us\"",
+            "\"merge_loop_score_us\"",
+            "\"merge_loop_apply_us\"",
             "\"eval_query\"",
+            "\"per_query_us_p50\"",
+            "\"per_query_us_p95\"",
             "\"speedup\"",
             "\"metrics\"",
             "\"schema\": \"axqa-obs/1\"",
@@ -429,6 +517,12 @@ mod tests {
         assert!(report.metrics.counter("tsbuild.merges") > 0);
         assert!(report.metrics.span_count("EVALQUERY") > 0);
         assert!(report.metrics.span_count("BUILDSTABLE") > 0);
+        // The scratch-reuse discipline held: after CREATEPOOL warms the
+        // per-worker workspaces, candidate scoring reuses them instead
+        // of growing fresh arrays.
+        assert!(report.metrics.counter("tsbuild.scratch_reuses") > 0);
+        assert!(report.metrics.counter("tsbuild.stat_bsearch") > 0);
+        assert!(report.eval_per_query_us_p95 >= report.eval_per_query_us_p50);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         report.write().unwrap();

@@ -3,7 +3,10 @@
 use crate::pipeline::{relative_error, PipelineConfig, Prepared};
 use crate::report::{fmt_f, fmt_kb, fmt_secs, Table};
 use axqa_core::build::ts_build_sweep;
-use axqa_core::{estimate_selectivity, eval_query, ts_build, BuildConfig, EvalConfig, TreeSketch};
+use axqa_core::{
+    estimate_selectivity, eval_query, eval_query_with_scratch, ts_build, BuildConfig, EvalConfig,
+    EvalScratch, TreeSketch,
+};
 use axqa_datagen::workload::{negative_workload, positive_workload, WorkloadConfig};
 use axqa_datagen::Dataset;
 use axqa_distance::{esd_summaries, EsdConfig, WeightedSummary};
@@ -259,9 +262,9 @@ pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
         // Flattened (budget × query) fan-out: queries of every budget
         // feed one pool, so a slow budget cannot idle the workers.
         let n_budgets = config.budgets_kb.len();
-        let ts_esd: Vec<f64> = parallel_map(config, n_budgets * n_esd, |idx| {
+        let ts_esd: Vec<f64> = parallel_map_eval(config, n_budgets * n_esd, |scratch, idx| {
             let (bi, i) = (idx / n_esd, idx % n_esd);
-            esd_of_treesketch_answer(&prepared, &sweep[bi], i, &truths[i], &esd_config)
+            esd_of_treesketch_answer(&prepared, &sweep[bi], i, &truths[i], &esd_config, scratch)
         });
         let xs_all: Vec<XSketch> = if config.with_xsketch {
             xsketches_per_budget(config, &prepared.stable, &build_workload)
@@ -303,8 +306,15 @@ fn esd_of_treesketch_answer(
     i: usize,
     truth: &WeightedSummary,
     esd_config: &EsdConfig,
+    scratch: &mut EvalScratch,
 ) -> f64 {
-    match eval_query(ts, &prepared.workload[i], &EvalConfig::default()) {
+    match eval_query_with_scratch(
+        ts,
+        &prepared.workload[i],
+        &EvalConfig::default(),
+        None,
+        scratch,
+    ) {
         Some(result) => {
             let approx = WeightedSummary::from_result_sketch(&result);
             esd_summaries(truth, &approx, esd_config)
@@ -383,10 +393,17 @@ pub fn fig12(config: &ExperimentConfig) -> Vec<Table> {
         // Same flattening as fig11: one (budget × query) fan-out per
         // technique instead of a serial loop over budgets.
         let n_budgets = config.budgets_kb.len();
-        let ts_err: Vec<f64> = parallel_map(config, n_budgets * n, |idx| {
+        let ts_err: Vec<f64> = parallel_map_eval(config, n_budgets * n, |scratch, idx| {
             let (bi, i) = (idx / n, idx % n);
-            let est = match eval_query(&sweep[bi], &prepared.workload[i], &EvalConfig::default()) {
-                Some(result) => estimate_selectivity(&result, &prepared.workload[i]),
+            let query = &prepared.workload[i];
+            let est = match eval_query_with_scratch(
+                &sweep[bi],
+                query,
+                &EvalConfig::default(),
+                None,
+                scratch,
+            ) {
+                Some(result) => estimate_selectivity(&result, query),
                 None => 0.0,
             };
             relative_error(prepared.exact[i], est, sanity)
@@ -463,14 +480,22 @@ pub fn fig13(config: &ExperimentConfig) -> Table {
         );
         let build_time = start.elapsed();
         // Flattened (budget × query) fan-out over all five budgets.
-        let values: Vec<f64> = parallel_map(config, fig13_budgets.len() * n, |idx| {
-            let (bi, i) = (idx / n, idx % n);
-            let est = match eval_query(&sweep[bi], &prepared.workload[i], &EvalConfig::default()) {
-                Some(result) => estimate_selectivity(&result, &prepared.workload[i]),
-                None => 0.0,
-            };
-            relative_error(prepared.exact[i], est, sanity)
-        });
+        let values: Vec<f64> =
+            parallel_map_eval(config, fig13_budgets.len() * n, |scratch, idx| {
+                let (bi, i) = (idx / n, idx % n);
+                let query = &prepared.workload[i];
+                let est = match eval_query_with_scratch(
+                    &sweep[bi],
+                    query,
+                    &EvalConfig::default(),
+                    None,
+                    scratch,
+                ) {
+                    Some(result) => estimate_selectivity(&result, query),
+                    None => 0.0,
+                };
+                relative_error(prepared.exact[i], est, sanity)
+            });
         let mut errs: Vec<String> = Vec::new();
         for bi in 0..fig13_budgets.len() {
             errs.push(format!(
@@ -511,8 +536,9 @@ pub fn negative(config: &ExperimentConfig) -> Table {
         let ts = ts_build(&prepared.stable, &BuildConfig::with_budget(kb(10))).sketch;
         let mut empty = 0usize;
         let mut estimate_sum = 0.0f64;
+        let mut scratch = EvalScratch::new();
         for query in &negatives {
-            match eval_query(&ts, query, &EvalConfig::default()) {
+            match eval_query_with_scratch(&ts, query, &EvalConfig::default(), None, &mut scratch) {
                 None => empty += 1,
                 Some(result) => estimate_sum += estimate_selectivity(&result, query),
             }
@@ -728,6 +754,22 @@ where
     F: Fn(usize) -> T + Sync,
 {
     crate::pipeline::parallel_map_indexed(config.pipeline.effective_threads().max(1), n, f)
+}
+
+/// [`parallel_map`] with a per-worker [`EvalScratch`], so the EVALQUERY
+/// serving loops reuse one workspace per thread instead of allocating
+/// per query.
+fn parallel_map_eval<T, F>(config: &ExperimentConfig, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut EvalScratch, usize) -> T + Sync,
+{
+    crate::pipeline::parallel_map_indexed_with(
+        config.pipeline.effective_threads().max(1),
+        n,
+        EvalScratch::new,
+        f,
+    )
 }
 
 /// Builds the twig-XSketch baseline at every budget, one budget per

@@ -151,21 +151,39 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_indexed_with(threads, n, || (), |_, i| f(i))
+}
+
+/// [`parallel_map_indexed`] with per-worker scratch state: `init` builds
+/// one `S` per worker (one total on the inline path) and `f` receives it
+/// mutably alongside the index. This is how the query-serving loops
+/// reuse an `EvalScratch` across calls without sharing it between
+/// threads.
+pub fn parallel_map_indexed_with<S, T, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|_| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut state, i);
+                    results.lock()[i] = Some(value);
                 }
-                let value = f(i);
-                results.lock()[i] = Some(value);
             });
         }
     });
@@ -254,5 +272,27 @@ mod tests {
         assert_eq!(serial[7], 49);
         let empty: Vec<usize> = parallel_map_indexed(4, 0, |i| i);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_state_matches_stateless() {
+        // Worker-local scratch must not change results or their order.
+        let stateless: Vec<usize> = parallel_map_indexed(4, 64, |i| i * 3);
+        let stateful: Vec<usize> =
+            parallel_map_indexed_with(4, 64, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i); // scratch persists across a worker's items
+                i * 3
+            });
+        assert_eq!(stateless, stateful);
+        let inline: Vec<usize> = parallel_map_indexed_with(
+            1,
+            8,
+            || 0usize,
+            |acc, i| {
+                *acc += i;
+                *acc
+            },
+        );
+        assert_eq!(inline, vec![0, 1, 3, 6, 10, 15, 21, 28]);
     }
 }

@@ -1,0 +1,237 @@
+// Examples/integration tests are demo code: panicking extractors are fine.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::arithmetic_side_effects
+)]
+
+//! Property tests of the allocation-free merge-loop kernel in
+//! `core/src/cluster.rs` (TSBUILD, §4.2; DESIGN.md §4.7).
+//!
+//! The kernel rewrite (scratch-space scoring, sorted-stats merge-joins,
+//! incremental error bookkeeping) retained the original hashmap-based
+//! implementations as `*_reference` functions. These tests pin the new
+//! code to the old bitwise: `evaluate_merge` must produce bit-identical
+//! `MergeDelta`s (this transitively pins the scratch-based
+//! `cross_terms`, whose per-parent accumulation order the scratch
+//! preserves), and the sort-coalesce `recompute_stats` /
+//! `recompute_child_k` must reproduce the reference accumulations
+//! exactly after splits rewire the partition. A separate determinism
+//! test drives randomized merge/split sequences and checks the
+//! incrementally-maintained `squared_error`/`size_bytes` aggregates
+//! against full recomputation.
+
+use axqa::core::cluster::{ClusterState, ScoreScratch};
+use axqa::prelude::*;
+use proptest::prelude::*;
+
+/// A random tree: label index and children.
+#[derive(Debug, Clone)]
+struct Tree {
+    label: u8,
+    children: Vec<Tree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (0u8..4).prop_map(|label| Tree {
+        label,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 60, 5, |inner| {
+        ((0u8..4), prop::collection::vec(inner, 0..5))
+            .prop_map(|(label, children)| Tree { label, children })
+    })
+}
+
+fn label_name(index: u8) -> String {
+    format!("l{index}")
+}
+
+fn to_document(tree: &Tree) -> Document {
+    fn add(doc: &mut Document, parent: axqa::xml::NodeId, tree: &Tree) {
+        let node = doc.add_child_named(parent, &label_name(tree.label));
+        for child in &tree.children {
+            add(doc, node, child);
+        }
+    }
+    let mut doc = Document::new(&label_name(tree.label));
+    let root = doc.root();
+    for child in &tree.children {
+        add(&mut doc, root, child);
+    }
+    doc
+}
+
+/// All same-label pairs of live clusters (the pairs TSBUILD scores).
+fn mergeable_pairs(state: &ClusterState) -> Vec<(u32, u32)> {
+    let ids: Vec<u32> = state.alive_ids().collect();
+    let mut pairs = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if state.cluster(a).label == state.cluster(b).label {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Tiny splitmix-style step for deterministic in-test choices.
+fn next_choice(seed: &mut u64, bound: usize) -> usize {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*seed >> 33) as usize) % bound.max(1)
+}
+
+/// Splits the largest multi-member live cluster (alternating members),
+/// returning false when every cluster is a singleton.
+fn split_one(state: &mut ClusterState) -> bool {
+    let target = state
+        .alive_ids()
+        .filter(|&id| state.cluster(id).members.len() >= 2)
+        .max_by_key(|&id| state.cluster(id).members.len());
+    let Some(id) = target else {
+        return false;
+    };
+    let part: Vec<u32> = state
+        .cluster(id)
+        .members
+        .iter()
+        .copied()
+        .step_by(2)
+        .collect();
+    debug_assert!(part.len() < state.cluster(id).members.len());
+    state.apply_split(id, &part);
+    true
+}
+
+/// Asserts the freshly (re)computed structures of every live cluster
+/// match the retained hashmap reference implementations bitwise.
+fn assert_matches_reference(state: &ClusterState) {
+    for id in state.alive_ids() {
+        let have = &state.cluster(id).stats;
+        let want = state.recompute_stats_reference(id);
+        assert_eq!(have.len(), want.len(), "stats arity of cluster {}", id);
+        for (h, w) in have.iter().zip(&want) {
+            assert_eq!(h.0, w.0);
+            assert_eq!(h.1.sum.to_bits(), w.1.sum.to_bits());
+            assert_eq!(h.1.sum2.to_bits(), w.1.sum2.to_bits());
+        }
+        for &s in &state.cluster(id).members {
+            let have_k = state.child_counts(s);
+            let want_k = state.recompute_child_k_reference(s);
+            assert_eq!(have_k, want_k.as_slice(), "child_k of stable node {}", s);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The scratch-based scorer is bit-identical to the hashmap
+    // reference, including after merges and splits reshape the stats
+    // it reads — and scoring stays pure (identical on re-evaluation
+    // with a dirty scratch).
+    #[test]
+    fn scratch_scoring_matches_reference(tree in tree_strategy(), seed in any::<u64>()) {
+        let doc = to_document(&tree);
+        let stable = build_stable(&doc);
+        let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
+        let mut scratch = ScoreScratch::new();
+        let mut seed = seed;
+        for round in 0..6 {
+            let pairs = mergeable_pairs(&state);
+            if pairs.is_empty() {
+                break;
+            }
+            for &(a, b) in pairs.iter().take(24) {
+                let fast = state.evaluate_merge(a, b, &mut scratch);
+                let slow = state.evaluate_merge_reference(a, b);
+                prop_assert_eq!(
+                    fast.errd.to_bits(), slow.errd.to_bits(),
+                    "errd diverged for ({}, {}): {} vs {}", a, b, fast.errd, slow.errd
+                );
+                prop_assert_eq!(fast.sized, slow.sized);
+                let again = state.evaluate_merge(a, b, &mut scratch);
+                prop_assert_eq!(fast.errd.to_bits(), again.errd.to_bits());
+            }
+            // Mutate the partition between rounds: mostly merges, with
+            // a split every third round to rewire child_k/stats.
+            if round % 3 == 2 && split_one(&mut state) {
+                assert_matches_reference(&state);
+            } else {
+                let (a, b) = pairs[next_choice(&mut seed, pairs.len())];
+                state.apply_merge(a, b);
+            }
+        }
+    }
+
+    // `recompute_stats`/`recompute_child_k` (sort-coalesce merge-joins)
+    // reproduce the reference accumulations bitwise right after a
+    // split recomputes them from the stable skeleton.
+    #[test]
+    fn split_recomputation_matches_reference(tree in tree_strategy(), seed in any::<u64>()) {
+        let doc = to_document(&tree);
+        let stable = build_stable(&doc);
+        let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
+        let mut seed = seed;
+        // Coarsen first so splits have multi-member clusters to cut.
+        for _ in 0..8 {
+            let pairs = mergeable_pairs(&state);
+            if pairs.is_empty() {
+                break;
+            }
+            let (a, b) = pairs[next_choice(&mut seed, pairs.len())];
+            state.apply_merge(a, b);
+        }
+        for _ in 0..4 {
+            if !split_one(&mut state) {
+                break;
+            }
+            assert_matches_reference(&state);
+        }
+    }
+
+    // The incrementally-maintained `squared_error`/`size_bytes`
+    // aggregates match full recomputation after any randomized
+    // merge/split sequence (the O(delta) bookkeeping never drifts).
+    #[test]
+    fn incremental_aggregates_match_recomputation(
+        tree in tree_strategy(),
+        seed in any::<u64>(),
+        ops in 1usize..12,
+    ) {
+        let doc = to_document(&tree);
+        let stable = build_stable(&doc);
+        let mut state = ClusterState::new(&stable, SizeModel::TREESKETCH);
+        let mut seed = seed;
+        for op in 0..ops {
+            let split_turn = op % 4 == 3;
+            if split_turn {
+                split_one(&mut state);
+            } else {
+                let pairs = mergeable_pairs(&state);
+                if pairs.is_empty() {
+                    break;
+                }
+                let (a, b) = pairs[next_choice(&mut seed, pairs.len())];
+                state.apply_merge(a, b);
+            }
+            let slow = state.squared_error_slow();
+            prop_assert!(
+                (state.squared_error() - slow).abs() <= 1e-6 * slow.abs().max(1.0),
+                "incremental squared_error {} drifted from recomputed {}",
+                state.squared_error(), slow
+            );
+            prop_assert_eq!(
+                state.size_bytes(),
+                state.to_sketch().size_bytes(&SizeModel::TREESKETCH),
+                "incremental size_bytes drifted from the finalized sketch's"
+            );
+        }
+        prop_assert!(state.verify().is_ok(), "{:?}", state.verify());
+    }
+}
