@@ -756,6 +756,17 @@ mod tests {
         parse_document(&src).unwrap()
     }
 
+    /// Worker count for the parallel side of the serial-vs-parallel
+    /// oracles. CI's determinism-smoke job overrides it
+    /// (`AXQA_TEST_THREADS=2`) so the oracle is exercised with a second
+    /// thread topology off the reference host.
+    pub(crate) fn test_threads() -> usize {
+        std::env::var("AXQA_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4)
+    }
+
     #[test]
     fn parallel_build_is_bit_identical_to_serial() {
         let doc = many_class_doc();
@@ -765,7 +776,7 @@ mod tests {
             let mut serial = BuildConfig::with_budget(budget);
             serial.threads = 1;
             let mut parallel = serial.clone();
-            parallel.threads = 4;
+            parallel.threads = test_threads();
             let s = ts_build(&stable, &serial);
             let p = ts_build(&stable, &parallel);
             assert_eq!(s.merges, p.merges, "budget {budget}");
@@ -797,7 +808,7 @@ mod tests {
         serial.window = 2;
         serial.threads = 1;
         let mut parallel = serial.clone();
-        parallel.threads = 4;
+        parallel.threads = test_threads();
         let s = ts_build(&stable, &serial);
         let p = ts_build(&stable, &parallel);
         assert!(s.merges >= 1, "windowed path produced no merges");
@@ -911,7 +922,7 @@ mod sweep_tests {
         let exact = SizeModel::TREESKETCH.graph_bytes(stable.len(), stable.num_edges());
         let budgets = [exact * 2 / 3, exact / 3];
         let mut config = BuildConfig::with_budget(0);
-        config.threads = 4;
+        config.threads = super::tests::test_threads();
         let sweep = ts_build_sweep(&stable, &budgets, &config);
         assert_eq!(sweep.len(), 2);
         for (&budget, swept) in budgets.iter().zip(&sweep) {

@@ -1135,7 +1135,11 @@ impl<'a> ClusterState<'a> {
                     e.sum2 += n_s * k as f64 * k as f64;
                 }
             }
-            total += acc.values().map(|e| e.err(n)).sum::<f64>();
+            // Summation order must not depend on the map's iteration
+            // order: float addition is non-associative.
+            let mut stats: Vec<(u32, EdgeStat)> = acc.into_iter().collect();
+            stats.sort_unstable_by_key(|&(t, _)| t);
+            total += stats.iter().map(|(_, e)| e.err(n)).sum::<f64>();
         }
         total
     }
@@ -1254,6 +1258,11 @@ impl PartitionSnapshot {
     /// `ClusterState::to_sketch` performs, deferred: dense renumbering
     /// (ascending original ids, so the numbering is identical), centroid
     /// edges `sum / N`, and per-node edge sorting.
+    ///
+    /// # Panics
+    ///
+    /// If the snapshot references a cluster id with no alive cluster —
+    /// impossible for snapshots taken by [`ClusterState::snapshot`].
     pub fn finalize(&self) -> TreeSketch {
         let _span = axqa_obs::span_with("TSBUILD.finalize", "clusters", self.clusters.len() as u64);
         let mut dense: FxHashMap<u32, u32> = FxHashMap::default();

@@ -78,6 +78,11 @@ impl ValueIndex {
     /// stable-class → sketch-node assignment produced by the builder.
     /// `capacity` bounds the per-node sample (values beyond it are
     /// thinned to equi-depth quantiles).
+    ///
+    /// # Panics
+    ///
+    /// If `stable_assignment` does not cover the stable summary
+    /// (`stable_assignment.len() != stable.len()`).
     pub fn build(
         doc: &Document,
         stable: &StableSummary,
@@ -100,7 +105,7 @@ impl ValueIndex {
             .into_iter()
             .enumerate()
             .map(|(i, mut vs)| {
-                vs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                vs.sort_by(f64::total_cmp);
                 let exact = vs.len() <= capacity;
                 let sample = if exact {
                     vs

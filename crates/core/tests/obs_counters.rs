@@ -45,7 +45,10 @@ fn parallel_and_serial_tsbuild_report_identical_counter_totals() {
     let mut serial_config = BuildConfig::with_budget(1);
     serial_config.threads = 1;
     let mut parallel_config = serial_config.clone();
-    parallel_config.threads = 4;
+    parallel_config.threads = std::env::var("AXQA_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
 
     let serial_recorder = axqa_obs::Recorder::new();
     serial_recorder.install();

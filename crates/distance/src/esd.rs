@@ -165,7 +165,10 @@ impl Engine<'_> {
             }
         }
         let mut total = 0.0;
-        let keys: Vec<(u32, u32)> = groups.keys().copied().collect();
+        // Sorted so the float accumulation below is independent of the
+        // map's iteration order.
+        let mut keys: Vec<(u32, u32)> = groups.keys().copied().collect();
+        keys.sort_unstable();
         for key in keys {
             let (left, right) = groups.get(&key).cloned().unwrap_or_default();
             let items_l: Vec<SetItem> = left

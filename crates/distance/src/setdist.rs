@@ -85,9 +85,7 @@ fn greedy_mac(u: &[SetItem], v: &[SetItem], dist: &[f64], exponent: f64) -> f64 
         .flat_map(|i| (0..v.len()).map(move |j| (i, j)))
         .collect();
     pairs.sort_unstable_by(|&(i1, j1), &(i2, j2)| {
-        dist[i1 * v.len() + j1]
-            .partial_cmp(&dist[i2 * v.len() + j2])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        dist[i1 * v.len() + j1].total_cmp(&dist[i2 * v.len() + j2])
     });
     let mut cost = 0.0;
     for (i, j) in pairs {

@@ -228,6 +228,12 @@ fn xsketch_build_workload(
 
 /// Figure 11: per TX dataset, average ESD of TreeSketch answers and
 /// twig-XSketch sampled answers across budgets.
+///
+/// # Panics
+///
+/// If a prepared workload contains a query with no nesting tree — the
+/// workload construction keeps only positive queries, so this is
+/// unreachable for [`Prepared`] inputs.
 pub fn fig11(config: &ExperimentConfig) -> Vec<Table> {
     let _span = axqa_obs::span("experiment.fig11");
     let esd_config = EsdConfig::default();

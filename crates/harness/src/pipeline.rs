@@ -122,7 +122,7 @@ impl Prepared {
     /// The paper's sanity bound `s`: the 10-percentile of true counts.
     pub fn sanity_bound(&self) -> f64 {
         let mut counts = self.exact.clone();
-        counts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        counts.sort_by(f64::total_cmp);
         if counts.is_empty() {
             1.0
         } else {
@@ -159,6 +159,11 @@ where
 /// mutably alongside the index. This is how the query-serving loops
 /// reuse an `EvalScratch` across calls without sharing it between
 /// threads.
+///
+/// # Panics
+///
+/// If any worker closure panics, the panic is re-raised on the calling
+/// thread once the scope joins.
 pub fn parallel_map_indexed_with<S, T, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,

@@ -9,7 +9,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Allow, Baseline, BASELINE_PATH};
-use crate::{api_surface, registry, Finding, Scope, Severity, SourceFile, Workspace};
+use crate::{api_surface, reach, registry, Finding, Scope, Severity, SourceFile, Workspace};
 
 /// What `run` should rewrite on disk besides checking.
 #[derive(Debug, Clone, Copy, Default)]
@@ -18,6 +18,8 @@ pub struct UpdateFlags {
     pub baseline: bool,
     /// Rewrite `lint/api-surface.txt` from the current sources.
     pub api_surface: bool,
+    /// Rewrite `lint/panic-surface.txt` from the current call graph.
+    pub panic_surface: bool,
 }
 
 /// The result of one engine run, ready for rendering.
@@ -37,6 +39,8 @@ pub struct Outcome {
     pub wrote_baseline: bool,
     /// True when `--update-api-surface` rewrote the snapshot.
     pub wrote_api_surface: bool,
+    /// True when `--update-panic-surface` rewrote the snapshot.
+    pub wrote_panic_surface: bool,
 }
 
 impl Outcome {
@@ -89,6 +93,18 @@ pub fn run(root: &Path, update: UpdateFlags) -> Result<Outcome, String> {
         wrote_api_surface = true;
     }
 
+    let mut wrote_panic_surface = false;
+    if update.panic_surface {
+        let rendered = reach::render_surface(&workspace);
+        let path = root.join(reach::SNAPSHOT_PATH);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        }
+        fs::write(&path, &rendered).map_err(|e| format!("write {}: {e}", path.display()))?;
+        workspace.panic_surface_snapshot = Some(rendered);
+        wrote_panic_surface = true;
+    }
+
     let rules = registry();
     let mut findings = Vec::new();
     for rule in &rules {
@@ -132,6 +148,7 @@ pub fn run(root: &Path, update: UpdateFlags) -> Result<Outcome, String> {
         stale: applied.stale,
         wrote_baseline,
         wrote_api_surface,
+        wrote_panic_surface,
     })
 }
 
@@ -186,20 +203,14 @@ pub fn collect_workspace(root: &Path) -> Result<Workspace, String> {
     }
     files.sort_by(|a, b| a.rel.cmp(&b.rel));
 
-    let snapshot_path = root.join(api_surface::SNAPSHOT_PATH);
-    let api_surface_snapshot = if snapshot_path.is_file() {
-        Some(
-            fs::read_to_string(&snapshot_path)
-                .map_err(|e| format!("read {}: {e}", snapshot_path.display()))?,
-        )
-    } else {
-        None
-    };
+    let api_surface_snapshot = read_optional(&root.join(api_surface::SNAPSHOT_PATH))?;
+    let panic_surface_snapshot = read_optional(&root.join(reach::SNAPSHOT_PATH))?;
 
     Ok(Workspace {
         files,
         dep_edges,
         api_surface_snapshot,
+        panic_surface_snapshot,
     })
 }
 
@@ -233,6 +244,17 @@ fn collect_rs_files(
 
 fn read_manifest(path: &Path) -> Result<String, String> {
     fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+/// Reads a snapshot file that may legitimately not exist yet.
+fn read_optional(path: &Path) -> Result<Option<String>, String> {
+    if path.is_file() {
+        fs::read_to_string(path)
+            .map(Some)
+            .map_err(|e| format!("read {}: {e}", path.display()))
+    } else {
+        Ok(None)
+    }
 }
 
 /// Extracts `name = "…"` from the `[package]` section of a manifest.
@@ -395,7 +417,7 @@ pub fn render_json(outcome: &Outcome) -> String {
 
 /// Escapes a string for JSON output (quotes, backslashes, control
 /// characters — all the repo's messages are ASCII-or-UTF-8 text).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len().saturating_add(2));
     out.push('"');
     for c in s.chars() {
@@ -463,6 +485,7 @@ proptest.workspace = true
             rules: vec![("no-unwrap", Severity::Error, "no unwraps")],
             wrote_baseline: false,
             wrote_api_surface: false,
+            wrote_panic_surface: false,
         }
     }
 

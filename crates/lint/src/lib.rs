@@ -3,9 +3,12 @@
 //! # axqa-lint — the repository's static-analysis engine
 //!
 //! `cargo xtask lint` grew out of a line-oriented script (PR 1) into
-//! this crate: a small token-level linter with a rule registry, two
-//! workspace-scope rules (crate layering, public-API surface snapshot)
-//! and a ratcheting baseline. See DESIGN.md §8 for the architecture.
+//! this crate: a token-level linter with a rule registry,
+//! workspace-scope rules (crate layering, public-API surface snapshot,
+//! panic-reachability surface), call-graph analyses over a lightweight
+//! fn-item parser, determinism dataflow rules, a ratcheting baseline,
+//! and SARIF 2.1.0 export. See DESIGN.md §8 and §10 for the
+//! architecture.
 //!
 //! The engine is deliberately dependency-free and deterministic:
 //!
@@ -15,6 +18,19 @@
 //!   false-positive inside string literals;
 //! * [`rules`] holds the per-file rules, each a type implementing
 //!   [`Rule`];
+//! * [`parse`] extracts per-file [`parse::FnItem`]s (qualified path,
+//!   visibility, `# Panics` docs, body token range) from the token
+//!   stream;
+//! * [`callgraph`] builds the intra-workspace call graph
+//!   (suffix-qualified name resolution, conservative method calls) and
+//!   collects direct panic sites;
+//! * [`reach`] runs the panic-reachability fixpoint, ratchets the
+//!   public classification against `lint/panic-surface.txt`, and
+//!   enforces `# Panics` docs on directly panicking public fns;
+//! * [`determinism`] flags order-dependent hashmap iteration and
+//!   non-total float comparisons in the deterministic-path crates;
+//! * [`sarif`] renders a run as a SARIF 2.1.0 log for GitHub code
+//!   scanning;
 //! * [`layering`] parses the workspace manifests and enforces the
 //!   DESIGN.md §1 crate-layer DAG (no cycles, no upward edges);
 //! * [`api_surface`] snapshots `pub fn` / `pub struct` signatures into
@@ -28,9 +44,14 @@
 
 pub mod api_surface;
 pub mod baseline;
+pub mod callgraph;
+pub mod determinism;
 pub mod engine;
 pub mod layering;
+pub mod parse;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
 pub mod token;
 
 use token::Token;
@@ -131,6 +152,8 @@ pub struct Workspace {
     pub dep_edges: Vec<(String, Vec<String>)>,
     /// Contents of `lint/api-surface.txt` if present.
     pub api_surface_snapshot: Option<String>,
+    /// Contents of `lint/panic-surface.txt` if present.
+    pub panic_surface_snapshot: Option<String>,
 }
 
 /// A lint rule: an id, a severity, a scope, and a checker.
@@ -165,7 +188,11 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(rules::PaperDoc),
         Box::new(rules::NoUnwrap),
         Box::new(rules::ForbiddenApi),
+        Box::new(determinism::HashMapIterOrder),
+        Box::new(determinism::FloatTotalOrder),
         Box::new(layering::CrateLayering),
         Box::new(api_surface::ApiSurface),
+        Box::new(reach::PanicSurface),
+        Box::new(reach::PanicDoc),
     ]
 }

@@ -1,0 +1,462 @@
+//! A lightweight item parser over the token stream.
+//!
+//! The call-graph and panic-reachability analyses (DESIGN.md §10) need
+//! to know *which function* a token belongs to — something the flat
+//! per-file rules never did. This module recognizes just enough of the
+//! item grammar to produce a [`FnItem`] for every `fn` in a file: its
+//! module/impl-qualified path, visibility, `#[cfg(test)]` status, the
+//! token range of its body, and whether its doc comment carries a
+//! `# Panics` section.
+//!
+//! Grammar subset (DESIGN.md §10): `mod name { … }`, `impl [Trait for]
+//! Type { … }`, `trait Name { … }` are descended into; `fn name …
+//! { body }` yields an item whose body is skipped as one brace-matched
+//! block (nested `fn`s and closures are attributed to the enclosing
+//! item — conservative for reachability); every other item (`struct`,
+//! `enum`, `use`, `const`, macros, …) is skipped by balanced-delimiter
+//! matching. Macros are opaque: the parser never expands them.
+
+use crate::token::TokenKind;
+use crate::SourceFile;
+
+/// Declared visibility of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Plain `pub` — part of the crate's public API.
+    Public,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`.
+    Restricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative path of the owning file.
+    pub file: String,
+    /// Package name of the owning crate (`axqa-core`).
+    pub crate_name: String,
+    /// True when the file is a binary target root.
+    pub is_bin: bool,
+    /// The function's bare name.
+    pub name: String,
+    /// Fully qualified path segments: crate ident, file-level modules,
+    /// inline modules, the impl/trait type (for methods), and the name
+    /// (`["axqa_core", "cluster", "ClusterState", "evaluate_merge"]`).
+    pub path: Vec<String>,
+    /// Enclosing `impl`/`trait` type, used to resolve `Self::` calls.
+    pub self_type: Option<String>,
+    /// Declared visibility.
+    pub vis: Visibility,
+    /// True when the `fn` token sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, exclusive of the braces
+    /// (`tokens[body.0..body.1]`); `None` for bodyless trait methods.
+    pub body: Option<(usize, usize)>,
+    /// True when a doc comment directly above the item contains a
+    /// `# Panics` section.
+    pub has_panics_doc: bool,
+}
+
+impl FnItem {
+    /// `path` joined with `::` — the display form used in the
+    /// panic-surface snapshot.
+    pub fn display_path(&self) -> String {
+        self.path.join("::")
+    }
+}
+
+/// Rust keywords: identifiers that can never be a call target or an
+/// indexed expression.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// True when `text` is a Rust keyword.
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// Module path contributed by the file's location: `src/lib.rs` and
+/// `src/main.rs` contribute nothing, `src/build.rs` contributes
+/// `["build"]`, `src/foo/bar.rs` contributes `["foo", "bar"]`, and
+/// `src/foo/mod.rs` contributes `["foo"]`.
+fn file_module_path(rel: &str) -> Vec<String> {
+    let Some(pos) = rel.find("src/") else {
+        return Vec::new();
+    };
+    let within = &rel[pos.saturating_add(4)..];
+    let trimmed = within
+        .strip_suffix(".rs")
+        .unwrap_or(within)
+        .trim_end_matches("/mod");
+    if trimmed == "lib" || trimmed == "main" || trimmed == "mod" || within.starts_with("bin/") {
+        return Vec::new();
+    }
+    trimmed
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parses every function item in `file`.
+pub fn parse_file(file: &SourceFile) -> Vec<FnItem> {
+    let mut scope: Vec<String> = vec![file.crate_name.replace('-', "_")];
+    scope.extend(file_module_path(&file.rel));
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    parse_items(
+        file,
+        &mut cursor,
+        file.tokens.len(),
+        &mut scope,
+        None,
+        &mut out,
+    );
+    out
+}
+
+/// Text of token `i`.
+fn text(file: &SourceFile, i: usize) -> &str {
+    file.tokens[i].text(&file.text)
+}
+
+/// Parses items in `tokens[*i..end]`, appending [`FnItem`]s to `out`.
+/// `self_type` is the enclosing impl/trait type, if any.
+#[allow(clippy::too_many_lines)]
+fn parse_items(
+    file: &SourceFile,
+    i: &mut usize,
+    end: usize,
+    scope: &mut Vec<String>,
+    self_type: Option<&str>,
+    out: &mut Vec<FnItem>,
+) {
+    // Doc comments and visibility seen since the last completed item.
+    let mut docs_panic = false;
+    let mut vis = Visibility::Private;
+    while *i < end {
+        let token = &file.tokens[*i];
+        match token.kind {
+            TokenKind::DocComment => {
+                if text(file, *i).contains("# Panics") {
+                    docs_panic = true;
+                }
+                *i = i.saturating_add(1);
+                continue;
+            }
+            TokenKind::Comment => {
+                *i = i.saturating_add(1);
+                continue;
+            }
+            _ => {}
+        }
+        let word = text(file, *i);
+        match word {
+            "#" => {
+                *i = crate::token::skip_attr(&file.text, &file.tokens, *i);
+            }
+            "pub" => {
+                *i = i.saturating_add(1);
+                if *i < end && text(file, *i) == "(" {
+                    vis = Visibility::Restricted;
+                    *i = skip_balanced(file, *i, end, "(", ")");
+                } else {
+                    vis = Visibility::Public;
+                }
+            }
+            "mod" => {
+                let name_idx = i.saturating_add(1);
+                let name = if name_idx < end {
+                    text(file, name_idx).to_string()
+                } else {
+                    String::new()
+                };
+                *i = name_idx.saturating_add(1);
+                // `mod name;` declares an out-of-line module (collected
+                // as its own file); `mod name { … }` is descended into.
+                if *i < end && text(file, *i) == "{" {
+                    let close = find_close(file, *i, end, "{", "}");
+                    let mut inner = i.saturating_add(1);
+                    scope.push(name);
+                    parse_items(file, &mut inner, close, scope, None, out);
+                    scope.pop();
+                    *i = close.saturating_add(1);
+                } else if *i < end && text(file, *i) == ";" {
+                    *i = i.saturating_add(1);
+                }
+                docs_panic = false;
+                vis = Visibility::Private;
+            }
+            "impl" | "trait" => {
+                let is_trait = word == "trait";
+                // Scan to the body `{`, extracting the subject type:
+                // for `impl [Trait for] Type`, the first type ident
+                // after `for` (or after the generics when there is no
+                // `for`); for `trait Name`, the name itself.
+                let mut j = i.saturating_add(1);
+                let mut subject: Option<String> = None;
+                let mut after_for = false;
+                let mut angle = 0i64;
+                while j < end {
+                    let t = text(file, j);
+                    match t {
+                        "{" => break,
+                        ";" if angle == 0 => break, // `impl Trait for Type;`-less forms
+                        "<" => angle = angle.saturating_add(1),
+                        ">" => angle = angle.saturating_sub(1),
+                        ">>" => angle = angle.saturating_sub(2),
+                        "for" if angle == 0 && !is_trait => {
+                            after_for = true;
+                            subject = None; // the real subject follows
+                        }
+                        "where" if angle == 0 => {
+                            // bounds only; subject already seen
+                        }
+                        _ if file.tokens[j].kind == TokenKind::Ident
+                            && angle == 0
+                            && !is_keyword(t)
+                            && subject.is_none() =>
+                        {
+                            let _ = after_for;
+                            subject = Some(t.to_string());
+                        }
+                        _ => {}
+                    }
+                    j = j.saturating_add(1);
+                }
+                if j < end && text(file, j) == "{" {
+                    let close = find_close(file, j, end, "{", "}");
+                    let mut inner = j.saturating_add(1);
+                    let subject_name = subject.unwrap_or_default();
+                    scope.push(subject_name.clone());
+                    parse_items(file, &mut inner, close, scope, Some(&subject_name), out);
+                    scope.pop();
+                    *i = close.saturating_add(1);
+                } else {
+                    *i = j.saturating_add(1);
+                }
+                docs_panic = false;
+                vis = Visibility::Private;
+            }
+            "fn" => {
+                let fn_idx = *i;
+                let name_idx = i.saturating_add(1);
+                let name = if name_idx < end {
+                    text(file, name_idx).to_string()
+                } else {
+                    String::new()
+                };
+                // Scan the signature for the body `{` or a trailing `;`
+                // (bodyless trait method). Signatures carry no braces.
+                let mut j = name_idx.saturating_add(1);
+                while j < end {
+                    let t = text(file, j);
+                    if t == "{" || t == ";" {
+                        break;
+                    }
+                    j = j.saturating_add(1);
+                }
+                let body = if j < end && text(file, j) == "{" {
+                    let close = find_close(file, j, end, "{", "}");
+                    let range = (j.saturating_add(1), close);
+                    *i = close.saturating_add(1);
+                    Some(range)
+                } else {
+                    *i = j.saturating_add(1);
+                    None
+                };
+                let mut path = scope.clone();
+                path.retain(|s| !s.is_empty());
+                path.push(name.clone());
+                out.push(FnItem {
+                    file: file.rel.clone(),
+                    crate_name: file.crate_name.clone(),
+                    is_bin: file.is_bin,
+                    name,
+                    path,
+                    self_type: self_type.map(str::to_string),
+                    vis,
+                    is_test: file.in_test.get(fn_idx).copied().unwrap_or(false),
+                    line: file.tokens[fn_idx].line,
+                    body,
+                    has_panics_doc: docs_panic,
+                });
+                docs_panic = false;
+                vis = Visibility::Private;
+            }
+            "{" => {
+                // An item body we do not descend into (enum/struct
+                // bodies, `extern` blocks, macro definitions).
+                *i = skip_balanced(file, *i, end, "{", "}");
+                docs_panic = false;
+                vis = Visibility::Private;
+            }
+            ";" => {
+                *i = i.saturating_add(1);
+                docs_panic = false;
+                vis = Visibility::Private;
+            }
+            _ => {
+                *i = i.saturating_add(1);
+            }
+        }
+    }
+}
+
+/// Index one past the token closing the `open`/`close` pair whose
+/// opener sits at `i`.
+fn skip_balanced(file: &SourceFile, i: usize, end: usize, open: &str, close: &str) -> usize {
+    find_close(file, i, end, open, close).saturating_add(1)
+}
+
+/// Index of the token closing the `open`/`close` pair whose opener sits
+/// at `i` (or `end` when unbalanced — the linter degrades gracefully).
+fn find_close(file: &SourceFile, i: usize, end: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < end {
+        let t = text(file, j);
+        if t == open {
+            depth = depth.saturating_add(1);
+        } else if t == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j;
+            }
+        }
+        j = j.saturating_add(1);
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(rel: &str, src: &str) -> Vec<FnItem> {
+        parse_file(&SourceFile::new(
+            rel.to_string(),
+            "axqa-core".to_string(),
+            false,
+            src.to_string(),
+        ))
+    }
+
+    #[test]
+    fn free_fns_get_file_qualified_paths() {
+        let items = parse(
+            "crates/core/src/build.rs",
+            "pub fn ts_build(x: u32) -> u32 { x }\nfn helper() {}\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].display_path(), "axqa_core::build::ts_build");
+        assert_eq!(items[0].vis, Visibility::Public);
+        assert!(items[0].body.is_some());
+        assert_eq!(items[1].display_path(), "axqa_core::build::helper");
+        assert_eq!(items[1].vis, Visibility::Private);
+    }
+
+    #[test]
+    fn lib_rs_contributes_no_module_segment() {
+        let items = parse("crates/core/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(items[0].display_path(), "axqa_core::f");
+    }
+
+    #[test]
+    fn impl_methods_carry_the_type_and_self_type() {
+        let src = "struct S;\nimpl S {\n  pub fn new() -> S { S }\n  fn inner(&self) {}\n}\n\
+                   impl std::fmt::Display for S { fn fmt(&self) -> F { todo!() } }\n";
+        let items = parse("crates/core/src/cluster.rs", src);
+        assert_eq!(items.len(), 3, "{items:?}");
+        assert_eq!(items[0].display_path(), "axqa_core::cluster::S::new");
+        assert_eq!(items[0].self_type.as_deref(), Some("S"));
+        assert_eq!(items[1].vis, Visibility::Private);
+        // `impl Trait for Type` binds to the type after `for`.
+        assert_eq!(items[2].display_path(), "axqa_core::cluster::S::fmt");
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_base_type() {
+        let src = "impl<'a, T: Clone> Wrapper<'a, T> { pub fn get(&self) -> &T { &self.0 } }\n";
+        let items = parse("crates/core/src/io.rs", src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].self_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn inline_mods_nest_and_cfg_test_marks_items() {
+        let src = "mod inner {\n  pub fn deep() {}\n}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\n";
+        let items = parse("crates/core/src/eval.rs", src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].display_path(), "axqa_core::eval::inner::deep");
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test);
+    }
+
+    #[test]
+    fn restricted_visibility_and_panics_docs() {
+        let src = "/// Does things.\n///\n/// # Panics\n/// When x is 0.\npub fn f(x: u32) {}\n\
+                   pub(crate) fn g() {}\n";
+        let items = parse("crates/core/src/build.rs", src);
+        assert!(items[0].has_panics_doc);
+        assert_eq!(items[1].vis, Visibility::Restricted);
+        assert!(!items[1].has_panics_doc);
+    }
+
+    #[test]
+    fn trait_decls_yield_bodyless_items() {
+        let src = "pub trait Rule {\n  fn id(&self) -> &'static str;\n  fn severity(&self) -> u32 { 1 }\n}\n";
+        let items = parse("crates/lint/src/lib.rs", src);
+        assert_eq!(items.len(), 2);
+        assert!(items[0].body.is_none());
+        assert!(items[1].body.is_some());
+        assert_eq!(items[0].path[items[0].path.len() - 2], "Rule");
+    }
+
+    #[test]
+    fn bodies_with_nested_braces_are_one_range() {
+        let src = "fn f() { if a { b(); } match c { _ => {} } }\nfn g() {}\n";
+        let items = parse("crates/core/src/build.rs", src);
+        assert_eq!(items.len(), 2);
+        let (start, end) = items[0].body.unwrap();
+        assert!(start < end);
+        assert_eq!(items[1].name, "g");
+    }
+
+    #[test]
+    fn structs_enums_and_macros_are_skipped_opaquely() {
+        let src = "pub struct S { f: u32 }\nenum E { A, B }\nmacro_rules! m { () => {} }\n\
+                   pub fn after() {}\n";
+        let items = parse("crates/core/src/build.rs", src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "after");
+        assert_eq!(items[0].vis, Visibility::Public);
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(
+            file_module_path("crates/core/src/lib.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(file_module_path("crates/core/src/build.rs"), vec!["build"]);
+        assert_eq!(
+            file_module_path("crates/harness/src/foo/bar.rs"),
+            vec!["foo", "bar"]
+        );
+        assert_eq!(file_module_path("crates/x/src/foo/mod.rs"), vec!["foo"]);
+        assert_eq!(file_module_path("src/main.rs"), Vec::<String>::new());
+        assert_eq!(
+            file_module_path("crates/cli/src/bin/extra.rs"),
+            Vec::<String>::new()
+        );
+    }
+}

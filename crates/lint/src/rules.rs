@@ -297,30 +297,44 @@ impl Rule for NoUnwrap {
         "no-unwrap"
     }
     fn describe(&self) -> &'static str {
-        "no `.unwrap()` outside #[cfg(test)] (return an error or match explicitly)"
+        "no `.unwrap()`, `.expect(…)` or `.unwrap_unchecked()` outside #[cfg(test)] \
+         (return an error or match explicitly)"
     }
     fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         for (i, token) in file.tokens.iter().enumerate() {
-            if file.in_test[i]
-                || token.kind != TokenKind::Ident
-                || token.text(&file.text) != "unwrap"
-            {
+            if file.in_test[i] || token.kind != TokenKind::Ident {
                 continue;
             }
+            let name = token.text(&file.text);
+            if !matches!(name, "unwrap" | "expect" | "unwrap_unchecked") {
+                continue;
+            }
+            // Tokens carry no whitespace, so `.` adjacency holds even
+            // when rustfmt breaks the receiver chain across lines.
             let dotted =
                 prev_code(&file.tokens, i).is_some_and(|j| file.tokens[j].text(&file.text) == ".");
-            let called = next_code(&file.tokens, i)
-                .is_some_and(|j| file.tokens[j].text(&file.text) == "(")
-                && next_code(&file.tokens, i)
-                    .and_then(|j| next_code(&file.tokens, j))
-                    .is_some_and(|j| file.tokens[j].text(&file.text) == ")");
-            if dotted && called {
+            if !dotted {
+                continue;
+            }
+            let open = next_code(&file.tokens, i);
+            let called = match name {
+                // `expect` takes a message; any call form counts.
+                "expect" => open.is_some_and(|j| file.tokens[j].text(&file.text) == "("),
+                // `unwrap` / `unwrap_unchecked` take no arguments —
+                // requiring `()` skips unrelated same-named methods.
+                _ => {
+                    open.is_some_and(|j| file.tokens[j].text(&file.text) == "(")
+                        && open
+                            .and_then(|j| next_code(&file.tokens, j))
+                            .is_some_and(|j| file.tokens[j].text(&file.text) == ")")
+                }
+            };
+            if called {
                 findings.push(finding(
                     self.id(),
                     file,
                     token,
-                    "`.unwrap()` in non-test code (return an error or match explicitly)"
-                        .to_string(),
+                    format!("`.{name}(…)` in non-test code (return an error or match explicitly)"),
                 ));
             }
         }
@@ -715,6 +729,49 @@ mod tests {
         // `unwrap_or_else` is not `.unwrap()`.
         let or_else = "fn g(o: Option<u32>) -> u32 { o.unwrap_or_else(|| 0) }\n";
         assert!(check(&NoUnwrap, "a.rs", "axqa-core", false, or_else).is_empty());
+    }
+
+    #[test]
+    fn expect_flagged_across_rustfmt_multiline_chains() {
+        // Exactly the shape rustfmt emits for a long receiver chain.
+        let multiline = "fn g(v: &[u32]) -> u32 {\n\
+                         \x20   v.iter()\n\
+                         \x20       .map(|x| x.checked_mul(2))\n\
+                         \x20       .next()\n\
+                         \x20       .flatten()\n\
+                         \x20       .expect(\"nonempty input\")\n\
+                         }\n";
+        let findings = check(&NoUnwrap, "a.rs", "axqa-core", false, multiline);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("expect"));
+        assert_eq!(findings[0].line, 6);
+
+        // Multiline `.unwrap()` after a broken call is also caught.
+        let unwrap_ml = "fn g(o: Option<u32>) -> u32 {\n\
+                         \x20   o.map(|x| x)\n\
+                         \x20       .unwrap()\n\
+                         }\n";
+        assert_eq!(
+            check(&NoUnwrap, "a.rs", "axqa-core", false, unwrap_ml).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unwrap_unchecked_flagged_and_expect_in_tests_exempt() {
+        let unchecked = "fn g(o: Option<u32>) -> u32 {\n\
+                         \x20   unsafe { o.unwrap_unchecked() }\n\
+                         }\n";
+        let findings = check(&NoUnwrap, "a.rs", "axqa-core", false, unchecked);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("unwrap_unchecked"));
+
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { Some(1).expect(\"present\"); } }\n";
+        assert!(check(&NoUnwrap, "a.rs", "axqa-core", false, test_src).is_empty());
+
+        // A user method merely named `unwrap` with arguments is not std's.
+        let named = "fn g(w: W) -> u32 { w.unwrap(3) }\n";
+        assert!(check(&NoUnwrap, "a.rs", "axqa-core", false, named).is_empty());
     }
 
     #[test]

@@ -463,7 +463,7 @@ fn match_cfg_test_attr(source: &str, tokens: &[Token], i: usize) -> Option<usize
 
 /// Skips one `#[…]` attribute starting at the `#`; returns the index one
 /// past the closing `]` (bracket-depth matched).
-fn skip_attr(source: &str, tokens: &[Token], i: usize) -> usize {
+pub(crate) fn skip_attr(source: &str, tokens: &[Token], i: usize) -> usize {
     let mut j = i.saturating_add(1);
     if tokens.get(j).map(|t| t.text(source)) != Some("[") {
         return j;

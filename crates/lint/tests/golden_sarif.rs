@@ -1,0 +1,121 @@
+// Integration tests opt back into panicking extractors (workspace lint
+// table, DESIGN.md "Static analysis & invariants").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Golden-file test for the SARIF 2.1.0 exporter (ISSUE 6 satellite),
+//! mirroring `obs/tests/golden_trace.rs`: rule metadata, result shape,
+//! suppression of baselined findings, region omission for line-less
+//! findings, and message escaping are pinned byte-for-byte against
+//! `tests/golden/sarif.json`.
+
+use axqa_lint::engine::Outcome;
+use axqa_lint::sarif::render_sarif;
+use axqa_lint::{Finding, Severity};
+
+/// A hand-built outcome: two rules, three findings — a fresh error with
+/// a line, a baselined error (suppressed in SARIF), and a line-less
+/// snapshot-diff finding whose message needs JSON escaping.
+fn fixture() -> Outcome {
+    Outcome {
+        findings: vec![
+            Finding {
+                rule: "no-unwrap",
+                severity: Severity::Error,
+                file: "crates/core/src/build.rs".to_string(),
+                line: 42,
+                span: (1000, 1009),
+                message: "`.unwrap(…)` in non-test code (return an error or match explicitly)"
+                    .to_string(),
+            },
+            Finding {
+                rule: "hashmap-iter-order",
+                severity: Severity::Error,
+                file: "crates/xsketch/src/build.rs".to_string(),
+                line: 216,
+                span: (0, 0),
+                message: "iteration order of hashmap `k` can flow into an ordered result"
+                    .to_string(),
+            },
+            Finding {
+                rule: "api-surface",
+                severity: Severity::Error,
+                file: "crates/core/src/eval.rs".to_string(),
+                line: 0,
+                span: (0, 0),
+                message: "public API removed: `pub fn eval \\ \"quoted\"`".to_string(),
+            },
+        ],
+        baselined: vec![false, true, false],
+        stale: Vec::new(),
+        files_scanned: 77,
+        rules: vec![
+            (
+                "no-unwrap",
+                Severity::Error,
+                "no `.unwrap()`, `.expect(…)` or `.unwrap_unchecked()` outside #[cfg(test)]",
+            ),
+            (
+                "hashmap-iter-order",
+                Severity::Error,
+                "no order-dependent FxHashMap/HashMap iteration in deterministic-path crates",
+            ),
+            (
+                "api-surface",
+                Severity::Error,
+                "public API matches lint/api-surface.txt",
+            ),
+        ],
+        wrote_baseline: false,
+        wrote_api_surface: false,
+        wrote_panic_surface: false,
+    }
+}
+
+#[test]
+fn sarif_matches_golden_file() {
+    let actual = render_sarif(&fixture());
+    let golden = include_str!("golden/sarif.json");
+    if actual != golden {
+        // Leave the actual output somewhere inspectable so the golden
+        // can be refreshed deliberately after an intended format change.
+        let path = std::env::temp_dir().join("axqa_lint_golden_sarif_actual.json");
+        std::fs::write(&path, &actual).unwrap();
+        panic!(
+            "render_sarif output diverged from tests/golden/sarif.json; \
+             actual output written to {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn sarif_shape_is_well_formed() {
+    let sarif = render_sarif(&fixture());
+    // One run, schema + version up front.
+    assert!(sarif.starts_with(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\","
+    ));
+    // Every registered rule appears in the driver metadata.
+    for id in ["no-unwrap", "hashmap-iter-order", "api-surface"] {
+        assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+    }
+    // ruleIndex points into the driver's rules array.
+    assert!(sarif.contains("\"ruleId\": \"hashmap-iter-order\", \"ruleIndex\": 1"));
+    // Exactly the baselined finding is suppressed.
+    assert_eq!(
+        sarif
+            .matches("\"suppressions\": [{\"kind\": \"external\"}]")
+            .count(),
+        1
+    );
+    // The line-less finding has a location but no region.
+    assert_eq!(sarif.matches("\"startLine\"").count(), 2);
+    assert_eq!(sarif.matches("\"physicalLocation\"").count(), 3);
+    // Message escaping survives.
+    assert!(sarif.contains("pub fn eval \\\\ \\\"quoted\\\""));
+    // Balanced braces/brackets — same well-formedness check the obs
+    // golden test uses (no serde in the workspace to parse with).
+    assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+    assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
+}

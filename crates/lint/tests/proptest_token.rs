@@ -1,0 +1,188 @@
+// Integration tests may panic on impossible cases.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Property tests for the lint tokenizer (`crates/lint/src/token.rs`).
+//!
+//! Generated Rust-ish sources — items whose bodies mix the fragments the
+//! tokenizer finds hardest (strings containing braces and comment
+//! markers, raw strings, char literals vs lifetimes, block comments
+//! containing quotes) — must tokenize *losslessly*: spans are strictly
+//! ordered, never overlap, stay in bounds, and every byte between them
+//! is plain whitespace. On the same sources, `#[cfg(test)]` masking must
+//! be *exact*: every masked token lies inside a generated `#[cfg(test)]`
+//! item, and every token inside such an item's body is masked.
+
+use axqa_lint::token::{test_mask, tokenize};
+use proptest::prelude::*;
+
+/// Body fragments chosen to confuse a lesser tokenizer: every entry is
+/// valid inside a `fn` body.
+const FRAGMENTS: &[&str] = &[
+    "let a = \"a { b } // not a comment\";",
+    "let b = \"#[cfg(test)]\";",
+    "let r = r#\"raw \"quoted\" { text\"#;",
+    "let c = '{';",
+    "let q = '\"';",
+    "let lt: &'static str = \"y\";",
+    "// line comment with \" quote and { brace",
+    "/* block } comment with \" quote */",
+    "let n = 0xFF_u32;",
+    "let f = 1.5e-3;",
+    "let sh = 1u32 << 2;",
+    "if 1 == 2 && 3 != 4 { let mut e = 1; e >>= 1; }",
+    "let range = 0..=9;",
+    "let t = (1, 2).0;",
+];
+
+/// One generated item: full rendered text, whether it is `#[cfg(test)]`,
+/// and the relative byte range of its brace-enclosed body content.
+#[derive(Debug, Clone)]
+struct Item {
+    text: String,
+    is_test: bool,
+    body_rel: (usize, usize),
+}
+
+fn render_item(index: usize, shape: u8, fragment_picks: &[u8]) -> Item {
+    let body: String = fragment_picks
+        .iter()
+        .map(|&p| {
+            let fragment = FRAGMENTS[p as usize % FRAGMENTS.len()];
+            format!("    {fragment}\n")
+        })
+        .collect();
+    let (header, footer, is_test) = match shape % 3 {
+        0 => (format!("fn plain_{index}() {{\n"), "}\n".to_string(), false),
+        1 => (
+            format!("#[cfg(test)]\nfn test_fn_{index}() {{\n"),
+            "}\n".to_string(),
+            true,
+        ),
+        _ => (
+            format!("#[cfg(test)]\nmod test_mod_{index} {{\n    fn t() {{\n"),
+            "    }\n}\n".to_string(),
+            true,
+        ),
+    };
+    let body_start = header.len();
+    let body_end = body_start + body.len();
+    Item {
+        text: format!("{header}{body}{footer}"),
+        is_test,
+        body_rel: (body_start, body_end),
+    }
+}
+
+fn items_strategy() -> impl Strategy<Value = Vec<Item>> {
+    prop::collection::vec(((0u8..6), prop::collection::vec(0u8..64, 0..6)), 1..6).prop_map(
+        |specs| {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, (shape, picks))| render_item(i, *shape, picks))
+                .collect()
+        },
+    )
+}
+
+/// An item's absolute `(full_range, body_range, is_test)` in the
+/// assembled source.
+type ItemRange = (usize, usize, usize, usize, bool);
+
+/// Concatenates items and returns the source plus each item's ranges.
+fn assemble(items: &[Item]) -> (String, Vec<ItemRange>) {
+    let mut source = String::new();
+    let mut ranges = Vec::new();
+    for item in items {
+        let start = source.len();
+        source.push_str(&item.text);
+        source.push('\n');
+        ranges.push((
+            start,
+            start + item.text.len(),
+            start + item.body_rel.0,
+            start + item.body_rel.1,
+            item.is_test,
+        ));
+    }
+    (source, ranges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Lossless spans: ordered, non-overlapping, in bounds, and the
+    // uncovered bytes are exactly the whitespace.
+    #[test]
+    fn tokenization_is_lossless(items in items_strategy()) {
+        let (source, _) = assemble(&items);
+        let tokens = tokenize(&source);
+        let mut cursor = 0usize;
+        for token in &tokens {
+            prop_assert!(token.start >= cursor, "overlap/backtrack at {}", token.start);
+            prop_assert!(token.end > token.start, "empty token at {}", token.start);
+            prop_assert!(token.end <= source.len(), "token past the end");
+            prop_assert!(
+                source[cursor..token.start].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?} before {}",
+                &source[cursor..token.start],
+                token.start,
+            );
+            cursor = token.end;
+        }
+        prop_assert!(
+            source[cursor..].chars().all(char::is_whitespace),
+            "non-whitespace tail {:?}",
+            &source[cursor..],
+        );
+    }
+
+    // Line numbers are consistent with the span positions.
+    #[test]
+    fn token_lines_match_spans(items in items_strategy()) {
+        let (source, _) = assemble(&items);
+        for token in tokenize(&source) {
+            let newlines = u32::try_from(source[..token.start].matches('\n').count()).unwrap();
+            let expected = 1 + newlines;
+            prop_assert_eq!(token.line, expected);
+        }
+    }
+
+    // Masking is exact: masked tokens only inside #[cfg(test)] items,
+    // and everything in a test item's body is masked.
+    #[test]
+    fn test_masking_is_exact(items in items_strategy()) {
+        let (source, ranges) = assemble(&items);
+        let tokens = tokenize(&source);
+        let mask = test_mask(&source, &tokens);
+        prop_assert_eq!(mask.len(), tokens.len());
+        for (token, masked) in tokens.iter().zip(&mask) {
+            let in_test_item = ranges
+                .iter()
+                .any(|&(start, end, _, _, is_test)| {
+                    is_test && token.start >= start && token.end <= end
+                });
+            let in_test_body = ranges
+                .iter()
+                .any(|&(_, _, body_start, body_end, is_test)| {
+                    is_test && token.start >= body_start && token.end <= body_end
+                });
+            if *masked {
+                prop_assert!(
+                    in_test_item,
+                    "masked token {:?} at {} outside every #[cfg(test)] item",
+                    token.text(&source),
+                    token.start,
+                );
+            }
+            if in_test_body {
+                prop_assert!(
+                    *masked,
+                    "unmasked token {:?} at {} inside a #[cfg(test)] body",
+                    token.text(&source),
+                    token.start,
+                );
+            }
+        }
+    }
+}

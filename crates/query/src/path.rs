@@ -165,6 +165,10 @@ impl PathExpr {
     }
 
     /// Attaches a predicate to the *last* step, builder style.
+    ///
+    /// # Panics
+    ///
+    /// If the path has no steps to attach the predicate to.
     pub fn with_predicate(mut self, predicate: PathExpr) -> PathExpr {
         match self.steps.last_mut() {
             Some(last) => last.predicates.push(predicate),
@@ -186,6 +190,10 @@ impl PathExpr {
     }
 
     /// Attaches a value predicate to the *last* step, builder style.
+    ///
+    /// # Panics
+    ///
+    /// If the path has no steps to attach the predicate to.
     pub fn with_value_pred(mut self, pred: ValuePred) -> PathExpr {
         match self.steps.last_mut() {
             Some(last) => last.value_preds.push(pred),

@@ -42,6 +42,11 @@ impl LabelTable {
     }
 
     /// Interns `name`, returning its id (existing or fresh).
+    ///
+    /// # Panics
+    ///
+    /// If more than `u32::MAX` distinct labels are interned — a document
+    /// alphabet beyond the id space cannot be represented.
     pub fn intern(&mut self, name: &str) -> LabelId {
         if let Some(&id) = self.by_name.get(name) {
             return id;

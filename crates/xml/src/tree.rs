@@ -138,6 +138,11 @@ impl Document {
     }
 
     /// Appends a child labeled `label` under `parent`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// If the document already holds `u32::MAX` nodes — the arena
+    /// addresses nodes with `u32` ids.
     pub fn add_child(&mut self, parent: NodeId, label: LabelId) -> NodeId {
         let id = match u32::try_from(self.nodes.len()) {
             Ok(next) => next,
@@ -400,6 +405,11 @@ impl DocumentBuilder {
     }
 
     /// The currently open element.
+    ///
+    /// # Panics
+    ///
+    /// If the element stack is empty — unreachable in practice, since
+    /// the stack starts with the root and `close` refuses to pop it.
     pub fn current(&self) -> NodeId {
         match self.stack.last() {
             Some(&id) => id,

@@ -131,7 +131,7 @@ pub fn build_xsketch(
 
 fn sanity_bound(sample: &[&(TwigQuery, f64)]) -> f64 {
     let mut counts: Vec<f64> = sample.iter().map(|p| p.1).collect();
-    counts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    counts.sort_by(f64::total_cmp);
     if counts.is_empty() {
         1.0
     } else {
@@ -225,11 +225,11 @@ fn value_split(stable: &StableSummary, partition: &[u32], members: &[u32]) -> Op
         .iter()
         .map(|&s| stable.node(SynNodeId(s)).extent as f64)
         .sum();
+    // total_cmp plus the key tie-break makes the winner independent of
+    // the map's iteration order even when variances tie exactly.
     let (&target, _) = per_target.iter().max_by(|a, b| {
         let var = |(_, &(_, sum, sum2)): &(&u32, &(f64, f64, f64))| sum2 - sum * sum / total_w;
-        var(a)
-            .partial_cmp(&var(b))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        var(a).total_cmp(&var(b)).then_with(|| a.0.cmp(b.0))
     })?;
     let mut keyed: Vec<(u64, u32)> = members
         .iter()

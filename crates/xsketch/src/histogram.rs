@@ -35,7 +35,7 @@ impl EdgeHistogram {
             };
         }
         let mut sorted: Vec<(Vec<u32>, f64)> = vectors.to_vec();
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
         let keep = max_buckets.max(1).min(sorted.len());
         let head = &sorted[..keep];
         let tail = &sorted[keep..];

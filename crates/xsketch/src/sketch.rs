@@ -122,6 +122,11 @@ impl XSketch {
     /// (cluster ids must be dense `0..num_clusters`); `bucket_budget` is
     /// the total number of histogram buckets to distribute (heaviest
     /// vectors globally first).
+    ///
+    /// # Panics
+    ///
+    /// If `partition` maps no stable node to some cluster id in
+    /// `0..num_clusters` (every cluster must have members).
     pub fn from_partition(
         stable: &StableSummary,
         partition: &[u32],
@@ -215,12 +220,12 @@ impl XSketch {
         for (ci, r) in raw.iter().enumerate() {
             // Vectors sorted by weight descending for allocation.
             let mut weights: Vec<f64> = r.vectors.iter().map(|&(_, w)| w).collect();
-            weights.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            weights.sort_by(|a, b| b.total_cmp(a));
             if weights.len() > 1 {
                 heap.push((weights[1], ci, 2));
             }
         }
-        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
         while spent < bucket_budget {
             let Some((_, ci, next)) = heap.pop() else {
                 break;
@@ -230,7 +235,7 @@ impl XSketch {
             let r = &raw[ci];
             if next < r.vectors.len() + 1 {
                 let mut weights: Vec<f64> = r.vectors.iter().map(|&(_, w)| w).collect();
-                weights.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                weights.sort_by(|a, b| b.total_cmp(a));
                 if next < weights.len() {
                     let w = weights[next];
                     let pos = heap.partition_point(|&(hw, _, _)| hw < w);

@@ -3,36 +3,43 @@
 //! `cargo xtask` — repository automation.
 //!
 //! The only subcommand is `lint`, a thin CLI over the [`axqa_lint`]
-//! engine (DESIGN.md §8): token-level per-file rules, workspace rules
-//! (crate layering, API-surface snapshot), and the `lint-baseline.toml`
-//! ratchet. The process exits nonzero when any non-baselined
-//! error-severity finding remains.
+//! engine (DESIGN.md §8 and §10): token-level per-file rules, the
+//! call-graph analyses (panic-reachability surface, determinism
+//! dataflow), workspace rules (crate layering, API-surface snapshot),
+//! and the `lint-baseline.toml` ratchet. The process exits nonzero
+//! when any non-baselined error-severity finding remains.
 //!
 //! ```text
-//! cargo xtask lint [--format text|json] [--out PATH]
+//! cargo xtask lint [--format text|json|sarif] [--out PATH] [--sarif PATH]
 //!                  [--update-baseline] [--update-api-surface]
+//!                  [--update-panic-surface]
 //! ```
 //!
 //! `--out PATH` writes the JSON report to PATH regardless of the
-//! chosen display format (CI uploads it as an artifact).
+//! chosen display format (CI uploads it as an artifact); `--sarif
+//! PATH` does the same for the SARIF 2.1.0 log that CI feeds to
+//! GitHub code scanning.
 
 use std::process::ExitCode;
 
 use axqa_lint::engine::{self, UpdateFlags};
 
-const USAGE: &str = "usage: cargo xtask lint [--format text|json] [--out PATH] \
-                     [--update-baseline] [--update-api-surface]";
+const USAGE: &str = "usage: cargo xtask lint [--format text|json|sarif] [--out PATH] \
+                     [--sarif PATH] [--update-baseline] [--update-api-surface] \
+                     [--update-panic-surface]";
 
 #[derive(Debug, PartialEq, Eq)]
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 #[derive(Debug)]
 struct Args {
     format: Format,
     out: Option<String>,
+    sarif: Option<String>,
     update: UpdateFlags,
 }
 
@@ -40,6 +47,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         format: Format::Text,
         out: None,
+        sarif: None,
         update: UpdateFlags::default(),
     };
     let mut iter = argv.iter();
@@ -54,8 +62,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.format = match iter.next().map(String::as_str) {
                     Some("text") => Format::Text,
                     Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
                     Some(other) => {
-                        return Err(format!("unknown format `{other}` (text|json)\n{USAGE}"))
+                        return Err(format!(
+                            "unknown format `{other}` (text|json|sarif)\n{USAGE}"
+                        ))
                     }
                     None => return Err(format!("--format needs a value\n{USAGE}")),
                 };
@@ -67,8 +78,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .clone(),
                 );
             }
+            "--sarif" => {
+                args.sarif = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("--sarif needs a path\n{USAGE}"))?
+                        .clone(),
+                );
+            }
             "--update-baseline" => args.update.baseline = true,
             "--update-api-surface" => args.update.api_surface = true,
+            "--update-panic-surface" => args.update.panic_surface = true,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -85,9 +104,14 @@ fn run() -> Result<bool, String> {
     match args.format {
         Format::Text => print!("{}", engine::render_text(&outcome)),
         Format::Json => print!("{}", engine::render_json(&outcome)),
+        Format::Sarif => print!("{}", axqa_lint::sarif::render_sarif(&outcome)),
     }
     if let Some(path) = &args.out {
         std::fs::write(path, engine::render_json(&outcome))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &args.sarif {
+        std::fs::write(path, axqa_lint::sarif::render_sarif(&outcome))
             .map_err(|e| format!("write {path}: {e}"))?;
     }
     if outcome.wrote_baseline {
@@ -95,6 +119,9 @@ fn run() -> Result<bool, String> {
     }
     if outcome.wrote_api_surface {
         println!("wrote {}", axqa_lint::api_surface::SNAPSHOT_PATH);
+    }
+    if outcome.wrote_panic_surface {
+        println!("wrote {}", axqa_lint::reach::SNAPSHOT_PATH);
     }
     Ok(outcome.gate_passes())
 }
@@ -126,14 +153,25 @@ mod tests {
             "json",
             "--out",
             "lint-findings.json",
+            "--sarif",
+            "lint-findings.sarif",
             "--update-baseline",
             "--update-api-surface",
+            "--update-panic-surface",
         ]))
         .unwrap();
         assert_eq!(args.format, Format::Json);
         assert_eq!(args.out.as_deref(), Some("lint-findings.json"));
+        assert_eq!(args.sarif.as_deref(), Some("lint-findings.sarif"));
         assert!(args.update.baseline);
         assert!(args.update.api_surface);
+        assert!(args.update.panic_surface);
+    }
+
+    #[test]
+    fn parses_sarif_format() {
+        let args = parse_args(&argv(&["lint", "--format", "sarif"])).unwrap();
+        assert_eq!(args.format, Format::Sarif);
     }
 
     #[test]
@@ -143,6 +181,7 @@ mod tests {
         assert!(parse_args(&argv(&["lint", "--format", "xml"])).is_err());
         assert!(parse_args(&argv(&["lint", "--nope"])).is_err());
         assert!(parse_args(&argv(&["lint", "--out"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--sarif"])).is_err());
     }
 
     #[test]
@@ -150,7 +189,9 @@ mod tests {
         let args = parse_args(&argv(&["lint"])).unwrap();
         assert_eq!(args.format, Format::Text);
         assert!(args.out.is_none());
+        assert!(args.sarif.is_none());
         assert!(!args.update.baseline);
         assert!(!args.update.api_surface);
+        assert!(!args.update.panic_surface);
     }
 }
