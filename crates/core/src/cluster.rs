@@ -213,6 +213,10 @@ pub struct ClusterState<'a> {
     alive: usize,
     total_edges: usize,
     total_sq: f64,
+    /// Reusable `(target, visit order, stat)` buffer for
+    /// [`Self::recompute_stats`]; grows to the largest recomputed
+    /// cluster once, then recomputations are allocation-free.
+    raw_scratch: Vec<(u32, usize, EdgeStat)>,
 }
 
 impl<'a> ClusterState<'a> {
@@ -271,6 +275,7 @@ impl<'a> ClusterState<'a> {
             alive: n,
             total_edges,
             total_sq: 0.0,
+            raw_scratch: Vec::new(),
         }
     }
 
@@ -825,13 +830,14 @@ impl<'a> ClusterState<'a> {
     /// order of the hash-map version
     /// ([`Self::recompute_stats_reference`]), so the resulting sums are
     /// bitwise identical.
+    ///
+    /// Allocation-free once warm: the raw pair list lives in
+    /// `self.raw_scratch` and the coalesced output reuses the cluster's
+    /// existing stats vector (both grow by amortized `push` only).
     fn recompute_stats(&mut self, id: u32) {
         let members = std::mem::take(&mut self.clusters[id as usize].members);
-        let raw_len: usize = members
-            .iter()
-            .map(|&s| self.child_k[s as usize].len())
-            .sum();
-        let mut raw: Vec<(u32, usize, EdgeStat)> = Vec::with_capacity(raw_len);
+        let mut raw = std::mem::take(&mut self.raw_scratch);
+        raw.clear();
         for &s in &members {
             let n_s = self.stable.node(SynNodeId(s)).extent as f64;
             for &(t, k) in &self.child_k[s as usize] {
@@ -846,13 +852,15 @@ impl<'a> ClusterState<'a> {
             }
         }
         raw.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
-        let mut stats: Vec<(u32, EdgeStat)> = Vec::with_capacity(raw.len());
+        let mut stats = std::mem::take(&mut self.clusters[id as usize].stats);
+        stats.clear();
         for &(t, _, stat) in &raw {
             match stats.last_mut() {
                 Some(last) if last.0 == t => last.1.add(stat),
                 _ => stats.push((t, stat)),
             }
         }
+        self.raw_scratch = raw;
         self.clusters[id as usize].members = members;
         self.clusters[id as usize].stats = stats;
         self.version[id as usize] = self.version[id as usize].wrapping_add(1);

@@ -1,0 +1,283 @@
+//! Direct allocation-site detection at the token level.
+//!
+//! The alloc-reachability analysis ([`crate::hotpath`]) needs to know
+//! which function bodies *directly* allocate. This module scans a body
+//! token range (the same range [`crate::callgraph`] scans for calls)
+//! and records every construct the engine treats as an allocation:
+//!
+//! * constructor calls on heap-owning types — `Vec::new(…)`,
+//!   `Box::new(…)`, `String::from(…)`, `FxHashMap::default()`,
+//!   `Vec::with_capacity(…)`, … (owner × {`new`, `default`, `from`,
+//!   `from_iter`, `with_capacity`});
+//! * owned-result method calls — `.collect()`, `.to_vec()`,
+//!   `.to_string()`, `.to_owned()`, `.clone()` (type-blind: every
+//!   `.clone()` counts, since the token stream carries no types — a
+//!   `Copy` clone must be written as a plain copy to stay off the
+//!   surface);
+//! * growth calls — `.resize(…)`, `.resize_with(…)`, `.reserve(…)`,
+//!   `.reserve_exact(…)` (the scratch-pool growth idiom; deliberate
+//!   amortized growth is granted via `[[alloc-ok]]`);
+//! * allocating macros — `vec![…]`, `format!(…)`;
+//! * *macro-opaque* calls — any other macro invocation not on the
+//!   benign whitelist (assert/debug_assert families, `panic!`-family
+//!   diverging macros, `matches!`, `cfg!`, `write!`/`writeln!`, …) is
+//!   conservatively treated as an allocation site, because the engine
+//!   never expands macros.
+//!
+//! Out of scope by design (documented in DESIGN.md §11): `push` /
+//! `insert` / `extend` past capacity. Pooled-buffer reuse is exactly
+//! the idiom the hot paths rely on; flagging every push would make the
+//! analysis useless. Capacity discipline is covered by the growth
+//! detectors above plus the grant ratchet.
+
+use crate::parse::is_keyword;
+use crate::token::{next_code, prev_code, TokenKind};
+use crate::SourceFile;
+
+/// One direct allocation site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Stable label used in findings and `[[alloc-ok]]` grants:
+    /// `Vec::new`, `.collect`, `.resize`, `vec!`, `format!`, or
+    /// `some_macro!` for macro-opaque invocations.
+    pub what: String,
+    /// 1-based line of the site.
+    pub line: u32,
+}
+
+/// Types whose constructors own heap storage.
+const HEAP_OWNERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "FxHashMap",
+    "FxHashSet",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "PathBuf",
+    "OsString",
+    "CString",
+];
+
+/// Constructor names that (may) allocate on a heap owner.
+const CTOR_METHODS: &[&str] = &["new", "default", "from", "from_iter", "with_capacity"];
+
+/// Dotted methods that return owned heap storage.
+const OWNED_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned", "clone"];
+
+/// Dotted methods that grow existing heap storage.
+const GROWTH_METHODS: &[&str] = &["resize", "resize_with", "reserve", "reserve_exact"];
+
+/// Macros known not to allocate on the non-diverging path. The
+/// panic/assert families format their message only when they fire
+/// (a diverging cold path the panic surface already tracks);
+/// `write!`/`writeln!` write into a caller-owned buffer.
+const BENIGN_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "matches",
+    "cfg",
+    "write",
+    "writeln",
+    "include_str",
+    "include_bytes",
+    "concat",
+    "stringify",
+    "env",
+    "option_env",
+    "line",
+    "column",
+    "file",
+    "compile_error",
+    "macro_rules",
+];
+
+/// True when token `i` starts a call argument list: the next code
+/// token is `(`, or a turbofish `::<…>(` follows (`collect::<Vec<_>>`).
+fn is_called(file: &SourceFile, i: usize) -> bool {
+    let tokens = &file.tokens;
+    let Some(n) = next_code(tokens, i) else {
+        return false;
+    };
+    match tokens[n].text(&file.text) {
+        "(" => true,
+        "::" => next_code(tokens, n).is_some_and(|k| {
+            let t = tokens[k].text(&file.text);
+            t == "<" || t == "<<"
+        }),
+        _ => false,
+    }
+}
+
+/// Scans `tokens[start..end]` of `file` for direct allocation sites,
+/// skipping `#[cfg(test)]`-masked tokens.
+pub fn scan(file: &SourceFile, start: usize, end: usize) -> Vec<AllocSite> {
+    let tokens = &file.tokens;
+    let mut sites = Vec::new();
+    for i in start..end.min(tokens.len()) {
+        if file.in_test.get(i).copied().unwrap_or(false) || tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tokens[i].text(&file.text);
+        // Keywords first: `if !cond` is a negation, not an `if!` macro
+        // (`!=` arrives as one compound token and never reads as `!`).
+        if is_keyword(name) {
+            continue;
+        }
+
+        // Macro invocation: `name !`.
+        if next_code(tokens, i).is_some_and(|n| tokens[n].text(&file.text) == "!") {
+            if name == "vec" || name == "format" || !BENIGN_MACROS.contains(&name) {
+                sites.push(AllocSite {
+                    what: format!("{name}!"),
+                    line: tokens[i].line,
+                });
+            }
+            continue;
+        }
+
+        if !is_called(file, i) {
+            continue;
+        }
+        let Some(p) = prev_code(tokens, i) else {
+            continue;
+        };
+        let prev = tokens[p].text(&file.text);
+
+        // Dotted method: `.collect(…)`, `.resize(…)`, …
+        if prev == "." {
+            if OWNED_METHODS.contains(&name) || GROWTH_METHODS.contains(&name) {
+                sites.push(AllocSite {
+                    what: format!(".{name}"),
+                    line: tokens[i].line,
+                });
+            }
+            continue;
+        }
+
+        // Constructor: `Vec :: new (…)` — owner must be a heap type.
+        if prev == "::" && CTOR_METHODS.contains(&name) {
+            let owner = prev_code(tokens, p)
+                .filter(|o| tokens[*o].kind == TokenKind::Ident)
+                .map(|o| tokens[o].text(&file.text));
+            if let Some(owner) = owner.filter(|o| HEAP_OWNERS.contains(o)) {
+                sites.push(AllocSite {
+                    what: format!("{owner}::{name}"),
+                    line: tokens[i].line,
+                });
+            }
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(body: &str) -> Vec<String> {
+        let text = format!("pub fn f() {{\n{body}\n}}\n");
+        let file = SourceFile::new(
+            "crates/core/src/x.rs".to_string(),
+            "axqa-core".to_string(),
+            false,
+            text,
+        );
+        scan(&file, 0, file.tokens.len())
+            .into_iter()
+            .map(|s| s.what)
+            .collect()
+    }
+
+    #[test]
+    fn constructors_on_heap_owners_are_sites() {
+        assert_eq!(sites("let v: Vec<u32> = Vec::new();"), vec!["Vec::new"]);
+        assert_eq!(sites("let b = Box::new(3);"), vec!["Box::new"]);
+        assert_eq!(sites("let s = String::from(\"x\");"), vec!["String::from"]);
+        assert_eq!(
+            sites("let m: FxHashMap<u32, u32> = FxHashMap::default();"),
+            vec!["FxHashMap::default"]
+        );
+        assert_eq!(
+            sites("let v = Vec::with_capacity(8);"),
+            vec!["Vec::with_capacity"]
+        );
+    }
+
+    #[test]
+    fn non_heap_constructors_are_not_sites() {
+        assert!(sites("let s = ScoreScratch::new();").is_empty());
+        assert!(sites("let d = EdgeStat::default();").is_empty());
+        assert!(sites("let x = Self::new();").is_empty());
+    }
+
+    #[test]
+    fn owned_result_methods_are_sites() {
+        assert_eq!(sites("let v: Vec<u32> = it.collect();"), vec![".collect"]);
+        assert_eq!(sites("let v = it.collect::<Vec<u32>>();"), vec![".collect"]);
+        assert_eq!(sites("let v = s.to_vec();"), vec![".to_vec"]);
+        assert_eq!(sites("let s = n.to_string();"), vec![".to_string"]);
+        assert_eq!(sites("let c = v.clone();"), vec![".clone"]);
+    }
+
+    #[test]
+    fn growth_methods_are_sites() {
+        assert_eq!(sites("buf.resize(n, 0.0);"), vec![".resize"]);
+        assert_eq!(sites("buf.resize_with(n, Vec::new);"), vec![".resize_with"]);
+        assert_eq!(sites("buf.reserve(n);"), vec![".reserve"]);
+    }
+
+    #[test]
+    fn alloc_macros_and_opaque_macros_are_sites() {
+        assert_eq!(sites("let v = vec![1, 2];"), vec!["vec!"]);
+        assert_eq!(sites("let s = format!(\"{}\", 1);"), vec!["format!"]);
+        assert_eq!(sites("mystery!(a, b);"), vec!["mystery!"]);
+    }
+
+    #[test]
+    fn benign_macros_are_not_sites() {
+        assert!(sites("assert!(x > 0); debug_assert_eq!(a, b);").is_empty());
+        assert!(sites("if matches!(x, Some(_)) { panic!(\"boom\"); }").is_empty());
+        assert!(sites("writeln!(out, \"row\")?;").is_empty());
+    }
+
+    #[test]
+    fn keyword_negation_is_not_a_macro() {
+        assert!(sites("if !done { return !flag; }").is_empty());
+        assert!(sites("while !queue_empty() { step(); }").is_empty());
+    }
+
+    #[test]
+    fn push_and_insert_are_out_of_scope() {
+        assert!(sites("buf.push(1); map.insert(k, v); buf.extend_from_slice(&x);").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_masked_sites_are_excluded() {
+        let text = "pub fn live() { let v = Vec::new(); }\n\
+                    #[cfg(test)]\nmod tests {\n  fn t() { let v = vec![1]; let s = format!(\"x\"); }\n}\n";
+        let file = SourceFile::new(
+            "crates/core/src/x.rs".to_string(),
+            "axqa-core".to_string(),
+            false,
+            text.to_string(),
+        );
+        let found = scan(&file, 0, file.tokens.len());
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].what, "Vec::new");
+    }
+}

@@ -7,8 +7,15 @@
 //! current counts — so the baseline only ever shrinks under review.
 //!
 //! The file is a deliberately tiny TOML subset (parsed here without a
-//! TOML dependency): comments, and repeated `[[allow]]` tables with
-//! string `rule`/`file` keys and an integer `count`.
+//! TOML dependency): comments, repeated `[[allow]]` tables with string
+//! `rule`/`file` keys and an integer `count`, and repeated
+//! `[[alloc-ok]]` tables granting deliberate allocation sites to the
+//! hot-path analysis ([`crate::hotpath`]): string `path` (qualified fn
+//! path suffix), string `what` (site label from
+//! [`crate::allocsite::AllocSite::what`]), integer `count`, and a
+//! **required** non-empty `reason` — every grant documents why the
+//! allocation is acceptable (scratch-pool growth, cold path, output
+//! construction), so the surface carries zero undocumented grants.
 
 use crate::Finding;
 
@@ -26,11 +33,28 @@ pub struct Allow {
     pub count: usize,
 }
 
+/// One granted allocation site group for the hot-path analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocGrant {
+    /// Qualified function-path suffix the grant applies to
+    /// (`ClusterState::apply_merge` matches
+    /// `axqa_core::cluster::ClusterState::apply_merge`).
+    pub path: String,
+    /// Site label (`.clone`, `Vec::with_capacity`, `vec!`, …).
+    pub what: String,
+    /// How many sites with this label are granted in that function.
+    pub count: usize,
+    /// Why the allocation is deliberate. Required and non-empty.
+    pub reason: String,
+}
+
 /// The parsed baseline.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// All allow entries, in file order.
     pub allows: Vec<Allow>,
+    /// All alloc-ok grants, in file order.
+    pub alloc_ok: Vec<AllocGrant>,
 }
 
 /// Result of matching findings against a baseline.
@@ -44,46 +68,73 @@ pub struct Applied {
 }
 
 impl Baseline {
-    /// Parses the baseline text. Unknown keys or malformed lines are
-    /// hard errors — a silently misread baseline would un-gate CI.
+    /// Parses the baseline text. Unknown keys, unknown tables, or
+    /// malformed lines are hard errors — a silently misread baseline
+    /// would un-gate CI.
     pub fn parse(text: &str) -> Result<Baseline, String> {
-        let mut allows: Vec<Allow> = Vec::new();
-        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let mut baseline = Baseline::default();
+        let mut current: Option<Entry> = None;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx.saturating_add(1);
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if line == "[[allow]]" {
-                finish_entry(&mut current, &mut allows, lineno)?;
-                current = Some((None, None, None));
+            if line == "[[allow]]" || line == "[[alloc-ok]]" {
+                finish_entry(&mut current, &mut baseline, lineno)?;
+                current = Some(if line == "[[allow]]" {
+                    Entry::Allow(Default::default())
+                } else {
+                    Entry::AllocOk(Default::default())
+                });
                 continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "{BASELINE_PATH}:{lineno}: unknown table `{line}` (expected [[allow]] or \
+                     [[alloc-ok]])"
+                ));
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!("{BASELINE_PATH}:{lineno}: expected `key = value`"));
             };
             let entry = current
                 .as_mut()
-                .ok_or_else(|| format!("{BASELINE_PATH}:{lineno}: key outside [[allow]] table"))?;
+                .ok_or_else(|| format!("{BASELINE_PATH}:{lineno}: key outside a table"))?;
             let key = key.trim();
             let value = value.trim();
-            match key {
-                "rule" => entry.0 = Some(parse_string(value, lineno)?),
-                "file" => entry.1 = Some(parse_string(value, lineno)?),
-                "count" => {
-                    entry.2 = Some(value.parse::<usize>().map_err(|_| {
-                        format!("{BASELINE_PATH}:{lineno}: `count` must be a non-negative integer")
-                    })?);
-                }
-                other => {
-                    return Err(format!("{BASELINE_PATH}:{lineno}: unknown key `{other}`"));
-                }
+            let count = |value: &str| {
+                value.parse::<usize>().map_err(|_| {
+                    format!("{BASELINE_PATH}:{lineno}: `count` must be a non-negative integer")
+                })
+            };
+            match entry {
+                Entry::Allow(fields) => match key {
+                    "rule" => fields.0 = Some(parse_string(value, lineno)?),
+                    "file" => fields.1 = Some(parse_string(value, lineno)?),
+                    "count" => fields.2 = Some(count(value)?),
+                    other => {
+                        return Err(format!(
+                            "{BASELINE_PATH}:{lineno}: unknown [[allow]] key `{other}`"
+                        ));
+                    }
+                },
+                Entry::AllocOk(fields) => match key {
+                    "path" => fields.0 = Some(parse_string(value, lineno)?),
+                    "what" => fields.1 = Some(parse_string(value, lineno)?),
+                    "count" => fields.2 = Some(count(value)?),
+                    "reason" => fields.3 = Some(parse_string(value, lineno)?),
+                    other => {
+                        return Err(format!(
+                            "{BASELINE_PATH}:{lineno}: unknown [[alloc-ok]] key `{other}`"
+                        ));
+                    }
+                },
             }
         }
         let end = text.lines().count();
-        finish_entry(&mut current, &mut allows, end)?;
-        Ok(Baseline { allows })
+        finish_entry(&mut current, &mut baseline, end)?;
+        Ok(baseline)
     }
 
     /// Builds a baseline that exactly covers `findings` (the
@@ -106,7 +157,10 @@ impl Baseline {
             }
         }
         allows.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
-        Baseline { allows }
+        Baseline {
+            allows,
+            alloc_ok: Vec::new(),
+        }
     }
 
     /// Renders back to the committed TOML form.
@@ -121,6 +175,21 @@ impl Baseline {
             out.push_str(&format!("rule = \"{}\"\n", allow.rule));
             out.push_str(&format!("file = \"{}\"\n", allow.file));
             out.push_str(&format!("count = {}\n", allow.count));
+        }
+        if !self.alloc_ok.is_empty() {
+            out.push_str(
+                "\n# Deliberate allocation sites on the hot-path cones (DESIGN.md §11).\n\
+                 # Each grant names the function, the site label, how many sites it\n\
+                 # covers, and why the allocation is acceptable. Hand-maintained:\n\
+                 # `--update-baseline` preserves these entries.\n",
+            );
+        }
+        for grant in &self.alloc_ok {
+            out.push_str("\n[[alloc-ok]]\n");
+            out.push_str(&format!("path = \"{}\"\n", grant.path));
+            out.push_str(&format!("what = \"{}\"\n", grant.what));
+            out.push_str(&format!("count = {}\n", grant.count));
+            out.push_str(&format!("reason = \"{}\"\n", grant.reason));
         }
         out
     }
@@ -150,20 +219,55 @@ impl Baseline {
     }
 }
 
-/// Validates and closes the in-progress `[[allow]]` entry.
+/// An in-progress table during parsing.
+enum Entry {
+    /// `rule`, `file`, `count`.
+    Allow((Option<String>, Option<String>, Option<usize>)),
+    /// `path`, `what`, `count`, `reason`.
+    AllocOk(
+        (
+            Option<String>,
+            Option<String>,
+            Option<usize>,
+            Option<String>,
+        ),
+    ),
+}
+
+/// Validates and closes the in-progress table entry.
 fn finish_entry(
-    current: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
-    allows: &mut Vec<Allow>,
+    current: &mut Option<Entry>,
+    baseline: &mut Baseline,
     lineno: usize,
 ) -> Result<(), String> {
-    if let Some((rule, file, count)) = current.take() {
-        let missing =
-            |key: &str| format!("{BASELINE_PATH}:{lineno}: [[allow]] entry missing `{key}`");
-        allows.push(Allow {
-            rule: rule.ok_or_else(|| missing("rule"))?,
-            file: file.ok_or_else(|| missing("file"))?,
-            count: count.ok_or_else(|| missing("count"))?,
-        });
+    match current.take() {
+        None => {}
+        Some(Entry::Allow((rule, file, count))) => {
+            let missing =
+                |key: &str| format!("{BASELINE_PATH}:{lineno}: [[allow]] entry missing `{key}`");
+            baseline.allows.push(Allow {
+                rule: rule.ok_or_else(|| missing("rule"))?,
+                file: file.ok_or_else(|| missing("file"))?,
+                count: count.ok_or_else(|| missing("count"))?,
+            });
+        }
+        Some(Entry::AllocOk((path, what, count, reason))) => {
+            let missing =
+                |key: &str| format!("{BASELINE_PATH}:{lineno}: [[alloc-ok]] entry missing `{key}`");
+            let reason = reason.ok_or_else(|| missing("reason"))?;
+            if reason.trim().is_empty() {
+                return Err(format!(
+                    "{BASELINE_PATH}:{lineno}: [[alloc-ok]] `reason` must be non-empty — \
+                     every grant documents why the allocation is deliberate"
+                ));
+            }
+            baseline.alloc_ok.push(AllocGrant {
+                path: path.ok_or_else(|| missing("path"))?,
+                what: what.ok_or_else(|| missing("what"))?,
+                count: count.ok_or_else(|| missing("count"))?,
+                reason,
+            });
+        }
     }
     Ok(())
 }
@@ -207,6 +311,7 @@ mod tests {
                 file: "crates/harness/src/bench.rs".to_string(),
                 count: 2,
             }],
+            alloc_ok: Vec::new(),
         };
         let parsed = Baseline::parse(&baseline.render()).unwrap();
         assert_eq!(parsed, baseline);
@@ -220,6 +325,7 @@ mod tests {
                 file: "a.rs".to_string(),
                 count: 1,
             }],
+            alloc_ok: Vec::new(),
         };
         let findings = vec![
             finding("no-unwrap", "a.rs", 3),
@@ -239,6 +345,7 @@ mod tests {
                 file: "crates/distance/src/lib.rs".to_string(),
                 count: 3,
             }],
+            alloc_ok: Vec::new(),
         };
         let applied = baseline.apply(&[]);
         assert_eq!(applied.stale.len(), 1);
@@ -276,6 +383,39 @@ mod tests {
         assert!(Baseline::parse("[[allow]]\nrule = \"x\"\n").is_err()); // missing keys
         assert!(Baseline::parse("[[allow]]\nrule = x\nfile = \"f\"\ncount = 1\n").is_err());
         assert!(Baseline::parse("[[allow]]\nrule = \"x\"\nfile = \"f\"\ncount = -1\n").is_err());
+    }
+
+    #[test]
+    fn alloc_ok_grants_round_trip() {
+        let baseline = Baseline {
+            allows: Vec::new(),
+            alloc_ok: vec![AllocGrant {
+                path: "ClusterState::apply_merge".to_string(),
+                what: ".clone".to_string(),
+                count: 1,
+                reason: "runs once per applied merge, not per scored candidate".to_string(),
+            }],
+        };
+        let parsed = Baseline::parse(&baseline.render()).unwrap();
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn alloc_ok_requires_a_reason() {
+        let text = "[[alloc-ok]]\npath = \"f\"\nwhat = \".clone\"\ncount = 1\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+
+        let text = "[[alloc-ok]]\npath = \"f\"\nwhat = \".clone\"\ncount = 1\nreason = \" \"\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tables_and_cross_table_keys_are_errors() {
+        assert!(Baseline::parse("[[deny]]\n").is_err());
+        assert!(Baseline::parse("[[allow]]\npath = \"x\"\n").is_err());
+        assert!(Baseline::parse("[[alloc-ok]]\nrule = \"x\"\n").is_err());
     }
 
     #[test]

@@ -80,10 +80,13 @@ const ASSERT_MACROS: [&str; 3] = ["assert", "assert_eq", "assert_ne"];
 pub fn build(files: &[SourceFile]) -> CallGraph {
     let mut items: Vec<FnItem> = Vec::new();
     let mut file_of_item: Vec<usize> = Vec::new();
-    for (f, file) in files.iter().enumerate() {
-        for item in crate::parse::parse_file(file) {
-            items.push(item);
-            file_of_item.push(f);
+    {
+        let _span = axqa_obs::span("lint.parse");
+        for (f, file) in files.iter().enumerate() {
+            for item in crate::parse::parse_file(file) {
+                items.push(item);
+                file_of_item.push(f);
+            }
         }
     }
 

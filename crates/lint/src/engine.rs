@@ -9,17 +9,22 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Allow, Baseline, BASELINE_PATH};
-use crate::{api_surface, reach, registry, Finding, Scope, Severity, SourceFile, Workspace};
+use crate::{
+    api_surface, hotpath, reach, registry, Finding, Scope, Severity, SourceFile, Workspace,
+};
 
 /// What `run` should rewrite on disk besides checking.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UpdateFlags {
-    /// Rewrite `lint-baseline.toml` to exactly cover current findings.
+    /// Rewrite `lint-baseline.toml` to exactly cover current findings
+    /// (hand-maintained `[[alloc-ok]]` grants are preserved).
     pub baseline: bool,
     /// Rewrite `lint/api-surface.txt` from the current sources.
     pub api_surface: bool,
     /// Rewrite `lint/panic-surface.txt` from the current call graph.
     pub panic_surface: bool,
+    /// Rewrite `lint/alloc-surface.txt` from the current hot cones.
+    pub alloc_surface: bool,
 }
 
 /// The result of one engine run, ready for rendering.
@@ -41,6 +46,8 @@ pub struct Outcome {
     pub wrote_api_surface: bool,
     /// True when `--update-panic-surface` rewrote the snapshot.
     pub wrote_panic_surface: bool,
+    /// True when `--update-alloc-surface` rewrote the snapshot.
+    pub wrote_alloc_surface: bool,
 }
 
 impl Outcome {
@@ -81,6 +88,20 @@ pub fn workspace_root() -> Result<PathBuf, String> {
 pub fn run(root: &Path, update: UpdateFlags) -> Result<Outcome, String> {
     let mut workspace = collect_workspace(root)?;
 
+    // The baseline is parsed before anything renders or checks:
+    // `[[alloc-ok]]` grants feed the hot-path analysis (granted sites
+    // never seed the fixpoint), unlike `[[allow]]` entries which apply
+    // to finished findings.
+    let baseline_path = root.join(BASELINE_PATH);
+    let mut baseline = if baseline_path.is_file() {
+        let text = fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::default()
+    };
+    workspace.alloc_grants = baseline.alloc_ok.clone();
+
     let mut wrote_api_surface = false;
     if update.api_surface {
         let rendered = api_surface::render_surface(&workspace);
@@ -105,32 +126,42 @@ pub fn run(root: &Path, update: UpdateFlags) -> Result<Outcome, String> {
         wrote_panic_surface = true;
     }
 
+    let mut wrote_alloc_surface = false;
+    if update.alloc_surface {
+        let rendered = hotpath::render_surface(&workspace);
+        let path = root.join(hotpath::SNAPSHOT_PATH);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        }
+        fs::write(&path, &rendered).map_err(|e| format!("write {}: {e}", path.display()))?;
+        workspace.alloc_surface_snapshot = Some(rendered);
+        wrote_alloc_surface = true;
+    }
+
     let rules = registry();
     let mut findings = Vec::new();
-    for rule in &rules {
-        match rule.scope() {
-            Scope::File => {
-                for file in &workspace.files {
-                    rule.check_file(file, &mut findings);
+    {
+        let _span = axqa_obs::span("lint.rules");
+        for rule in &rules {
+            match rule.scope() {
+                Scope::File => {
+                    for file in &workspace.files {
+                        rule.check_file(file, &mut findings);
+                    }
                 }
+                Scope::Workspace => rule.check_workspace(&workspace, &mut findings),
             }
-            Scope::Workspace => rule.check_workspace(&workspace, &mut findings),
         }
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
 
-    let baseline_path = root.join(BASELINE_PATH);
-    let mut baseline = if baseline_path.is_file() {
-        let text = fs::read_to_string(&baseline_path)
-            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
-        Baseline::parse(&text)?
-    } else {
-        Baseline::default()
-    };
-
     let mut wrote_baseline = false;
     if update.baseline {
+        // `[[allow]]` entries regenerate from the current findings;
+        // `[[alloc-ok]]` grants are hand-maintained and carried over.
+        let alloc_ok = std::mem::take(&mut baseline.alloc_ok);
         baseline = Baseline::from_findings(&findings);
+        baseline.alloc_ok = alloc_ok;
         fs::write(&baseline_path, baseline.render())
             .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
         wrote_baseline = true;
@@ -149,6 +180,7 @@ pub fn run(root: &Path, update: UpdateFlags) -> Result<Outcome, String> {
         wrote_baseline,
         wrote_api_surface,
         wrote_panic_surface,
+        wrote_alloc_surface,
     })
 }
 
@@ -195,22 +227,31 @@ pub fn collect_workspace(root: &Path) -> Result<Workspace, String> {
         .collect();
 
     let mut files = Vec::new();
-    for (name, dir, _) in &packages {
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs_files(root, &src, name, &mut files)?;
+    {
+        let _span = axqa_obs::span("lint.tokenize");
+        for (name, dir, _) in &packages {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs_files(root, &src, name, &mut files)?;
+            }
         }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
     }
-    files.sort_by(|a, b| a.rel.cmp(&b.rel));
 
     let api_surface_snapshot = read_optional(&root.join(api_surface::SNAPSHOT_PATH))?;
     let panic_surface_snapshot = read_optional(&root.join(reach::SNAPSHOT_PATH))?;
+    let alloc_surface_snapshot = read_optional(&root.join(hotpath::SNAPSHOT_PATH))?;
+    let hot_paths = read_optional(&root.join(hotpath::CONFIG_PATH))?;
 
     Ok(Workspace {
         files,
         dep_edges,
         api_surface_snapshot,
         panic_surface_snapshot,
+        alloc_surface_snapshot,
+        hot_paths,
+        alloc_grants: Vec::new(),
+        graph: std::cell::OnceCell::new(),
     })
 }
 
@@ -486,6 +527,7 @@ proptest.workspace = true
             wrote_baseline: false,
             wrote_api_surface: false,
             wrote_panic_surface: false,
+            wrote_alloc_surface: false,
         }
     }
 

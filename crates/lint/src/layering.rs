@@ -28,7 +28,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("axqa-harness", 5),  // experiment harness
     ("axqa-cli", 5),      // command-line front end
     ("axqa", 6),          // umbrella re-export package (repo tests/)
-    ("axqa-lint", 6),     // this engine (no axqa deps)
+    ("axqa-lint", 6),     // this engine (depends only on layer-0 axqa-obs)
     ("xtask", 7),         // automation driver (depends on axqa-lint)
 ];
 

@@ -10,7 +10,11 @@
 //! and SARIF 2.1.0 export. See DESIGN.md §8 and §10 for the
 //! architecture.
 //!
-//! The engine is deliberately dependency-free and deterministic:
+//! The engine is deterministic and nearly dependency-free — its one
+//! dependency is the layer-0 `axqa-obs` facade, so the lint phases
+//! (`lint.tokenize`, `lint.parse`, `lint.callgraph`, `lint.rules`,
+//! `lint.fixpoint`) show up in `lint-metrics.json` like any other
+//! phase of the system:
 //!
 //! * [`token`] tokenizes Rust sources (strings, raw strings, char
 //!   literals, comments) and masks `#[cfg(test)]` regions on tokens,
@@ -27,6 +31,15 @@
 //! * [`reach`] runs the panic-reachability fixpoint, ratchets the
 //!   public classification against `lint/panic-surface.txt`, and
 //!   enforces `# Panics` docs on directly panicking public fns;
+//! * [`allocsite`] detects direct allocation sites (constructors on
+//!   heap-owning types, owned-result methods, growth calls, and
+//!   macro-opaque invocations) in function bodies;
+//! * [`hotpath`] runs the allocation-reachability fixpoint from the
+//!   hot roots declared in `lint/hot-paths.toml`, honors `[[alloc-ok]]`
+//!   grants from the baseline, and ratchets the classification against
+//!   `lint/alloc-surface.txt` (DESIGN.md §11);
+//! * [`deadpub`] reports plain-`pub` functions with zero
+//!   intra-workspace callers and no textual references;
 //! * [`determinism`] flags order-dependent hashmap iteration and
 //!   non-total float comparisons in the deterministic-path crates;
 //! * [`sarif`] renders a run as a SARIF 2.1.0 log for GitHub code
@@ -42,17 +55,22 @@
 //!   baseline and renders human text or `--format json`
 //!   (schema `axqa-lint/1`).
 
+pub mod allocsite;
 pub mod api_surface;
 pub mod baseline;
 pub mod callgraph;
+pub mod deadpub;
 pub mod determinism;
 pub mod engine;
+pub mod hotpath;
 pub mod layering;
 pub mod parse;
 pub mod reach;
 pub mod rules;
 pub mod sarif;
 pub mod token;
+
+use std::cell::OnceCell;
 
 use token::Token;
 
@@ -154,6 +172,29 @@ pub struct Workspace {
     pub api_surface_snapshot: Option<String>,
     /// Contents of `lint/panic-surface.txt` if present.
     pub panic_surface_snapshot: Option<String>,
+    /// Contents of `lint/alloc-surface.txt` if present.
+    pub alloc_surface_snapshot: Option<String>,
+    /// Contents of `lint/hot-paths.toml` (the alloc-analysis roots)
+    /// if present.
+    pub hot_paths: Option<String>,
+    /// `[[alloc-ok]]` grants parsed from `lint-baseline.toml` — the
+    /// hot-path analysis consumes these *before* seeding its fixpoint,
+    /// unlike `[[allow]]` entries which apply to finished findings.
+    pub alloc_grants: Vec<baseline::AllocGrant>,
+    /// Lazily built call graph, shared by every workspace rule (the
+    /// engine builds it once per run instead of once per rule).
+    pub graph: OnceCell<callgraph::CallGraph>,
+}
+
+impl Workspace {
+    /// The workspace call graph, built on first use (under a
+    /// `lint.callgraph` span) and shared across rules.
+    pub fn callgraph(&self) -> &callgraph::CallGraph {
+        self.graph.get_or_init(|| {
+            let _span = axqa_obs::span("lint.callgraph");
+            callgraph::build(&self.files)
+        })
+    }
 }
 
 /// A lint rule: an id, a severity, a scope, and a checker.
@@ -194,5 +235,8 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(api_surface::ApiSurface),
         Box::new(reach::PanicSurface),
         Box::new(reach::PanicDoc),
+        Box::new(hotpath::HotPathAlloc),
+        Box::new(hotpath::AllocSurface),
+        Box::new(deadpub::DeadPub),
     ]
 }

@@ -361,11 +361,9 @@ impl Rule for ForbiddenApi {
     }
     fn describe(&self) -> &'static str {
         "no print macros or raw Instant/SystemTime::now in library code (time via axqa-obs); \
-         no std::process::exit anywhere (return ExitCode); no Vec::new/FxHashMap::default \
-         inside the TSBUILD hot-path kernels (use the ScoreScratch workspace)"
+         no std::process::exit anywhere (return ExitCode)"
     }
     fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
-        check_hot_path_allocations(self.id(), file, findings);
         for (i, token) in file.tokens.iter().enumerate() {
             if file.in_test[i] || token.kind != TokenKind::Ident {
                 continue;
@@ -428,117 +426,6 @@ impl Rule for ForbiddenApi {
                 }
             }
         }
-    }
-}
-
-/// TSBUILD merge-kernel functions that must stay allocation-free
-/// (DESIGN.md §4.7): they run once per scored candidate, so a single
-/// `Vec::new`/`FxHashMap::default` reintroduces per-candidate heap
-/// traffic. The retained `*_reference` implementations are exempt by
-/// name.
-const HOT_PATH_FNS: [&str; 4] = [
-    "evaluate_merge",
-    "cross_terms",
-    "recompute_stats",
-    "recompute_child_k",
-];
-
-/// Scans `axqa-core` for `Vec::new()` / `FxHashMap::default()` calls
-/// inside the bodies of [`HOT_PATH_FNS`]. `Vec::with_capacity` and the
-/// scratch-workspace APIs remain available.
-fn check_hot_path_allocations(
-    rule_id: &'static str,
-    file: &SourceFile,
-    findings: &mut Vec<Finding>,
-) {
-    if file.crate_name != "axqa-core" {
-        return;
-    }
-    let tokens = &file.tokens;
-    for i in 0..tokens.len() {
-        if file.in_test[i]
-            || tokens[i].kind != TokenKind::Ident
-            || tokens[i].text(&file.text) != "fn"
-        {
-            continue;
-        }
-        let Some(name_idx) = next_code(tokens, i) else {
-            continue;
-        };
-        let name = tokens[name_idx].text(&file.text);
-        if !HOT_PATH_FNS.contains(&name) {
-            continue;
-        }
-        // Body = the first `{…}` block after the name (these signatures
-        // carry no braced types); a `;` first means a bodyless trait
-        // signature.
-        let mut j = name_idx;
-        let mut depth = 0i64;
-        let mut in_body = false;
-        while let Some(k) = next_code(tokens, j) {
-            let text = tokens[k].text(&file.text);
-            if tokens[k].kind == TokenKind::Punct {
-                match text {
-                    "{" => {
-                        depth = depth.saturating_add(1);
-                        in_body = true;
-                    }
-                    "}" => {
-                        depth = depth.saturating_sub(1);
-                        if in_body && depth <= 0 {
-                            break;
-                        }
-                    }
-                    ";" if !in_body => break,
-                    _ => {}
-                }
-            } else if in_body {
-                check_hot_alloc_token(rule_id, file, k, name, findings);
-            }
-            j = k;
-        }
-    }
-}
-
-/// Flags the token at `k` when it spells the call in a banned
-/// `Vec::new(` / `FxHashMap::default(` sequence.
-fn check_hot_alloc_token(
-    rule_id: &'static str,
-    file: &SourceFile,
-    k: usize,
-    func: &str,
-    findings: &mut Vec<Finding>,
-) {
-    let tokens = &file.tokens;
-    let text = tokens[k].text(&file.text);
-    let banned_owner = match text {
-        "new" => "Vec",
-        "default" => "FxHashMap",
-        _ => return,
-    };
-    let called = next_code(tokens, k).is_some_and(|n| tokens[n].text(&file.text) == "(");
-    if !called {
-        return;
-    }
-    let Some(sep) = prev_code(tokens, k) else {
-        return;
-    };
-    if tokens[sep].text(&file.text) != "::" {
-        return;
-    }
-    let owner_ok =
-        prev_code(tokens, sep).is_some_and(|o| tokens[o].text(&file.text) == banned_owner);
-    if owner_ok {
-        findings.push(finding(
-            rule_id,
-            file,
-            &tokens[k],
-            format!(
-                "`{banned_owner}::{text}()` inside hot-path `{func}` — this \
-                 allocates per scored candidate; use the ScoreScratch \
-                 workspace (DESIGN.md §4.7)"
-            ),
-        ));
     }
 }
 
@@ -830,56 +717,6 @@ mod tests {
             "axqa-harness",
             false,
             ok
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn forbidden_api_hot_path_allocations() {
-        // Both banned constructors inside a guarded kernel function.
-        let hot = "impl ClusterState { fn cross_terms(&self, s: &mut ScoreScratch) { \
-                   let m: FxHashMap<u32, f64> = FxHashMap::default(); \
-                   let v: Vec<f64> = Vec::new(); drop((m, v)); } }\n";
-        let hits = check(
-            &ForbiddenApi,
-            "crates/core/src/cluster.rs",
-            "axqa-core",
-            false,
-            hot,
-        );
-        assert_eq!(hits.len(), 2, "{hits:?}");
-        assert!(hits[0].message.contains("cross_terms"));
-        // The retained reference implementations and unrelated functions
-        // are exempt by name; Vec::with_capacity stays allowed.
-        let ok = "fn cross_terms_reference() -> FxHashMap<u32, f64> { FxHashMap::default() }\n\
-                  fn recompute_stats(&mut self) { let raw = Vec::with_capacity(4); drop(raw); }\n\
-                  fn other() { let v: Vec<u8> = Vec::new(); drop(v); }\n";
-        assert!(check(
-            &ForbiddenApi,
-            "crates/core/src/cluster.rs",
-            "axqa-core",
-            false,
-            ok
-        )
-        .is_empty());
-        // Test-gated bodies and other crates are out of scope.
-        let gated = "#[cfg(test)]\nmod tests { fn evaluate_merge() { let v: Vec<u8> = \
-                     Vec::new(); drop(v); } }\n";
-        assert!(check(
-            &ForbiddenApi,
-            "crates/core/src/cluster.rs",
-            "axqa-core",
-            false,
-            gated
-        )
-        .is_empty());
-        let elsewhere = "fn evaluate_merge() { let v: Vec<u8> = Vec::new(); drop(v); }\n";
-        assert!(check(
-            &ForbiddenApi,
-            "crates/harness/src/bench.rs",
-            "axqa-harness",
-            false,
-            elsewhere
         )
         .is_empty());
     }

@@ -110,6 +110,7 @@ mod tests {
             wrote_baseline: false,
             wrote_api_surface: false,
             wrote_panic_surface: false,
+            wrote_alloc_surface: false,
         }
     }
 

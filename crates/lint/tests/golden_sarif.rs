@@ -12,9 +12,11 @@ use axqa_lint::engine::Outcome;
 use axqa_lint::sarif::render_sarif;
 use axqa_lint::{Finding, Severity};
 
-/// A hand-built outcome: two rules, three findings — a fresh error with
-/// a line, a baselined error (suppressed in SARIF), and a line-less
-/// snapshot-diff finding whose message needs JSON escaping.
+/// A hand-built outcome: the allocation-analysis rules plus the
+/// original trio, and four findings — a fresh error with a line, a
+/// baselined error (suppressed in SARIF), a line-less snapshot-diff
+/// finding whose message needs JSON escaping, and a hot-path
+/// allocation finding from the reachability fixpoint.
 fn fixture() -> Outcome {
     Outcome {
         findings: vec![
@@ -25,6 +27,17 @@ fn fixture() -> Outcome {
                 line: 42,
                 span: (1000, 1009),
                 message: "`.unwrap(…)` in non-test code (return an error or match explicitly)"
+                    .to_string(),
+            },
+            Finding {
+                rule: "hot-path-alloc",
+                severity: Severity::Error,
+                file: "crates/core/src/cluster.rs".to_string(),
+                line: 409,
+                span: (0, 0),
+                message: "hot-path fn `axqa_core::cluster::ClusterState::evaluate_merge` \
+                          allocates directly (`Vec::new` line 412) — reuse a scratch/pool or \
+                          add an [[alloc-ok]] grant with a reason to lint-baseline.toml"
                     .to_string(),
             },
             Finding {
@@ -45,7 +58,7 @@ fn fixture() -> Outcome {
                 message: "public API removed: `pub fn eval \\ \"quoted\"`".to_string(),
             },
         ],
-        baselined: vec![false, true, false],
+        baselined: vec![false, false, true, false],
         stale: Vec::new(),
         files_scanned: 77,
         rules: vec![
@@ -64,10 +77,26 @@ fn fixture() -> Outcome {
                 Severity::Error,
                 "public API matches lint/api-surface.txt",
             ),
+            (
+                "hot-path-alloc",
+                Severity::Error,
+                "no ungranted allocation reachable from the hot roots in lint/hot-paths.toml",
+            ),
+            (
+                "alloc-surface",
+                Severity::Error,
+                "hot-cone allocation classification matches lint/alloc-surface.txt",
+            ),
+            (
+                "dead-pub",
+                Severity::Error,
+                "no plain-pub fn with zero intra-workspace callers and no textual reference",
+            ),
         ],
         wrote_baseline: false,
         wrote_api_surface: false,
         wrote_panic_surface: false,
+        wrote_alloc_surface: false,
     }
 }
 
@@ -97,11 +126,19 @@ fn sarif_shape_is_well_formed() {
          \"version\": \"2.1.0\","
     ));
     // Every registered rule appears in the driver metadata.
-    for id in ["no-unwrap", "hashmap-iter-order", "api-surface"] {
+    for id in [
+        "no-unwrap",
+        "hashmap-iter-order",
+        "api-surface",
+        "hot-path-alloc",
+        "alloc-surface",
+        "dead-pub",
+    ] {
         assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
     }
     // ruleIndex points into the driver's rules array.
     assert!(sarif.contains("\"ruleId\": \"hashmap-iter-order\", \"ruleIndex\": 1"));
+    assert!(sarif.contains("\"ruleId\": \"hot-path-alloc\", \"ruleIndex\": 3"));
     // Exactly the baselined finding is suppressed.
     assert_eq!(
         sarif
@@ -110,8 +147,8 @@ fn sarif_shape_is_well_formed() {
         1
     );
     // The line-less finding has a location but no region.
-    assert_eq!(sarif.matches("\"startLine\"").count(), 2);
-    assert_eq!(sarif.matches("\"physicalLocation\"").count(), 3);
+    assert_eq!(sarif.matches("\"startLine\"").count(), 3);
+    assert_eq!(sarif.matches("\"physicalLocation\"").count(), 4);
     // Message escaping survives.
     assert!(sarif.contains("pub fn eval \\\\ \\\"quoted\\\""));
     // Balanced braces/brackets — same well-formedness check the obs

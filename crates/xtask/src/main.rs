@@ -11,22 +11,26 @@
 //!
 //! ```text
 //! cargo xtask lint [--format text|json|sarif] [--out PATH] [--sarif PATH]
-//!                  [--update-baseline] [--update-api-surface]
-//!                  [--update-panic-surface]
+//!                  [--metrics PATH] [--update-baseline] [--update-api-surface]
+//!                  [--update-panic-surface] [--update-alloc-surface]
 //! ```
 //!
 //! `--out PATH` writes the JSON report to PATH regardless of the
 //! chosen display format (CI uploads it as an artifact); `--sarif
 //! PATH` does the same for the SARIF 2.1.0 log that CI feeds to
-//! GitHub code scanning.
+//! GitHub code scanning. `--metrics PATH` drains the lint run's own
+//! axqa-obs spans (`lint.tokenize`, `lint.parse`, `lint.callgraph`,
+//! `lint.rules`, `lint.fixpoint`) into an `axqa-obs/1` metrics file so
+//! lint runtime regressions surface like any other phase.
 
 use std::process::ExitCode;
 
 use axqa_lint::engine::{self, UpdateFlags};
 
 const USAGE: &str = "usage: cargo xtask lint [--format text|json|sarif] [--out PATH] \
-                     [--sarif PATH] [--update-baseline] [--update-api-surface] \
-                     [--update-panic-surface]";
+                     [--sarif PATH] [--metrics PATH] [--update-baseline] \
+                     [--update-api-surface] [--update-panic-surface] \
+                     [--update-alloc-surface]";
 
 #[derive(Debug, PartialEq, Eq)]
 enum Format {
@@ -40,6 +44,7 @@ struct Args {
     format: Format,
     out: Option<String>,
     sarif: Option<String>,
+    metrics: Option<String>,
     update: UpdateFlags,
 }
 
@@ -48,6 +53,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         format: Format::Text,
         out: None,
         sarif: None,
+        metrics: None,
         update: UpdateFlags::default(),
     };
     let mut iter = argv.iter();
@@ -85,9 +91,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .clone(),
                 );
             }
+            "--metrics" => {
+                args.metrics = Some(
+                    iter.next()
+                        .ok_or_else(|| format!("--metrics needs a path\n{USAGE}"))?
+                        .clone(),
+                );
+            }
             "--update-baseline" => args.update.baseline = true,
             "--update-api-surface" => args.update.api_surface = true,
             "--update-panic-surface" => args.update.panic_surface = true,
+            "--update-alloc-surface" => args.update.alloc_surface = true,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -98,8 +112,22 @@ fn run() -> Result<bool, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
 
+    // Record the engine's own spans when metrics are requested.
+    let recorder = args.metrics.as_ref().map(|_| {
+        let recorder = axqa_obs::Recorder::new();
+        recorder.install();
+        recorder
+    });
+
     let root = engine::workspace_root()?;
     let outcome = engine::run(&root, args.update)?;
+
+    if let (Some(path), Some(recorder)) = (&args.metrics, &recorder) {
+        let snapshot = recorder.drain();
+        std::fs::write(path, axqa_obs::export::metrics_json(&snapshot))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        axqa_obs::uninstall();
+    }
 
     match args.format {
         Format::Text => print!("{}", engine::render_text(&outcome)),
@@ -122,6 +150,9 @@ fn run() -> Result<bool, String> {
     }
     if outcome.wrote_panic_surface {
         println!("wrote {}", axqa_lint::reach::SNAPSHOT_PATH);
+    }
+    if outcome.wrote_alloc_surface {
+        println!("wrote {}", axqa_lint::hotpath::SNAPSHOT_PATH);
     }
     Ok(outcome.gate_passes())
 }
@@ -155,17 +186,22 @@ mod tests {
             "lint-findings.json",
             "--sarif",
             "lint-findings.sarif",
+            "--metrics",
+            "lint-metrics.json",
             "--update-baseline",
             "--update-api-surface",
             "--update-panic-surface",
+            "--update-alloc-surface",
         ]))
         .unwrap();
         assert_eq!(args.format, Format::Json);
         assert_eq!(args.out.as_deref(), Some("lint-findings.json"));
         assert_eq!(args.sarif.as_deref(), Some("lint-findings.sarif"));
+        assert_eq!(args.metrics.as_deref(), Some("lint-metrics.json"));
         assert!(args.update.baseline);
         assert!(args.update.api_surface);
         assert!(args.update.panic_surface);
+        assert!(args.update.alloc_surface);
     }
 
     #[test]
@@ -182,6 +218,7 @@ mod tests {
         assert!(parse_args(&argv(&["lint", "--nope"])).is_err());
         assert!(parse_args(&argv(&["lint", "--out"])).is_err());
         assert!(parse_args(&argv(&["lint", "--sarif"])).is_err());
+        assert!(parse_args(&argv(&["lint", "--metrics"])).is_err());
     }
 
     #[test]
@@ -190,8 +227,10 @@ mod tests {
         assert_eq!(args.format, Format::Text);
         assert!(args.out.is_none());
         assert!(args.sarif.is_none());
+        assert!(args.metrics.is_none());
         assert!(!args.update.baseline);
         assert!(!args.update.api_surface);
         assert!(!args.update.panic_surface);
+        assert!(!args.update.alloc_surface);
     }
 }
