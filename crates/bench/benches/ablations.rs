@@ -15,6 +15,11 @@
 //! * `Uh`/`Lh` heap-bound sensitivity;
 //! * GreedyMac vs exact-EMD set distance inside ESD.
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::{topdown_build, ts_build, BuildConfig};
 use axqa_datagen::Dataset;

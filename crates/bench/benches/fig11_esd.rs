@@ -11,6 +11,11 @@
 //! evaluate a twig over a 10 KB synopsis, summarize the answer, compare
 //! against the precomputed true nesting tree with ESD.
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::{eval_query, ts_build, BuildConfig, EvalConfig};
 use axqa_datagen::Dataset;

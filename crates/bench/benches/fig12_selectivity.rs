@@ -11,6 +11,11 @@
 //! EVALQUERY + §4.4 post-order counting over 10 KB synopses, against the
 //! histogram-based twig-XSketch estimator.
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::selectivity::estimate_query_selectivity;
 use axqa_core::{ts_build, BuildConfig, EvalConfig};

@@ -12,6 +12,11 @@
 //! laptop sizes; the reproduced shape is near-linear growth of
 //! construction and size-independent estimation).
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::selectivity::estimate_query_selectivity;
 use axqa_core::{ts_build, BuildConfig, EvalConfig};

@@ -13,6 +13,11 @@
 //! (partition mutation plus incremental error/size bookkeeping), each at
 //! three stable-summary sizes.
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::{ClusterState, ScoreScratch};
 use axqa_datagen::Dataset;

@@ -10,6 +10,11 @@
 //! Micro-benchmarks of the substrates: parsing, indexing, BUILDSTABLE,
 //! exact twig evaluation and ESD.
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_datagen::Dataset;
 use axqa_distance::{esd_documents, EsdConfig};

@@ -14,6 +14,11 @@
 //! The `obs_primitives` group prices the primitives themselves in both
 //! states for the PR description.
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::{eval_query, ts_build, BuildConfig, EvalConfig};
 use axqa_datagen::Dataset;

@@ -15,6 +15,11 @@
 //! the reproduced shape (TreeSketch construction is the faster of the
 //! two because it never evaluates a query workload).
 
+/// Bench binaries install the counting allocator (DESIGN.md §12)
+/// so recorded spans carry real allocation profiles.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 use axqa_bench::Fixture;
 use axqa_core::{ts_build, BuildConfig};
 use axqa_datagen::Dataset;

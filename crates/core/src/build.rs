@@ -461,6 +461,10 @@ fn score_level_parallel(
     groups: &[Vec<u32>],
     threads: usize,
 ) -> Vec<BinaryHeap<WorstFirst>> {
+    // Utilization telemetry (DESIGN.md §12): wall time of the region vs
+    // summed per-worker busy time. `parallel.capacity_us` is
+    // wall × workers, so utilization = busy / capacity across regions.
+    let region = axqa_obs::Stopwatch::start();
     let scope_result = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -469,13 +473,18 @@ fn score_level_parallel(
                     // the PR-2 parallel path visible lane-by-lane in the
                     // Chrome trace (ISSUE 4 acceptance).
                     let _span = axqa_obs::span_with("CREATEPOOL.score", "worker", t as u64);
+                    let busy = axqa_obs::Stopwatch::start();
                     // Each worker owns its scratch: no sharing, no locks,
                     // and the scoring arithmetic stays order-identical.
                     let mut scratch = ScoreScratch::new();
                     let mut local: BinaryHeap<WorstFirst> = BinaryHeap::new();
+                    let mut items = 0u64;
                     for group in groups.iter().skip(t).step_by(threads) {
                         score_group(state, config, level, group, &mut local, &mut scratch);
+                        items = items.saturating_add(1);
                     }
+                    axqa_obs::counter("parallel.busy_us", busy.elapsed_us());
+                    axqa_obs::observe("parallel.worker_items", items);
                     local
                 })
             })
@@ -488,10 +497,18 @@ fn score_level_parallel(
             })
             .collect::<Vec<_>>()
     });
-    match scope_result {
+    let locals = match scope_result {
         Ok(locals) => locals,
         Err(_) => panic!("CREATEPOOL scoring scope failed"),
-    }
+    };
+    let wall_us = region.elapsed_us();
+    axqa_obs::counter("parallel.regions", 1);
+    axqa_obs::counter("parallel.wall_us", wall_us);
+    axqa_obs::counter(
+        "parallel.capacity_us",
+        wall_us.saturating_mul(threads as u64),
+    );
+    locals
 }
 
 /// Scores one label group at one level (Fig. 6 inner loop) into `best`:

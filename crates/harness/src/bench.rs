@@ -36,7 +36,7 @@ pub struct BaselineConfig {
     /// Optional Chrome `trace_event` output (`--trace PATH`), loadable
     /// in `chrome://tracing`/Perfetto.
     pub trace_out: Option<std::path::PathBuf>,
-    /// Optional standalone `axqa-obs/1` metrics output
+    /// Optional standalone `axqa-obs/2` metrics output
     /// (`--metrics PATH`); the same document is embedded in the
     /// baseline JSON either way.
     pub metrics_out: Option<std::path::PathBuf>,
@@ -132,8 +132,12 @@ pub struct BaselineReport {
     pub threads_used: usize,
     /// Host CPU count at measurement time.
     pub cpus: usize,
+    /// Whether the process's global allocator is the counting one —
+    /// when `false`, every allocation figure in the report is zero
+    /// because nothing was tallied, and the `allocation` block says so.
+    pub alloc_tracked: bool,
     /// Drained observability snapshot of the whole run (embedded as the
-    /// `metrics` block, schema `axqa-obs/1`).
+    /// `metrics` block, schema `axqa-obs/2`).
     pub metrics: axqa_obs::Snapshot,
 }
 
@@ -223,6 +227,7 @@ pub fn run_baseline(config: &BaselineConfig) -> BaselineReport {
         eval_per_query_us_p95: eval.p95_us,
         threads_used,
         cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        alloc_tracked: axqa_obs::alloc::counting_allocator_active(),
         metrics: recorder.drain(),
     }
 }
@@ -307,11 +312,41 @@ fn json_f(value: f64) -> String {
     }
 }
 
+/// Span names whose allocation profile the baseline reports per phase.
+/// `TSBUILD.finalize` is deliberately absent: that span lives on the
+/// sweep/snapshot path (`finalize_snapshots`), not the bench path.
+const ALLOC_PHASE_SPANS: &[&str] = &[
+    "BUILDSTABLE",
+    "TSBUILD",
+    "CREATEPOOL",
+    "CREATEPOOL.score",
+    "TSBUILD.merge_loop",
+    "TSBUILD.merge_loop.score",
+    "TSBUILD.merge_loop.apply",
+    "TSBUILD.to_sketch",
+    "EVALQUERY",
+];
+
 impl BaselineReport {
-    /// Serializes the snapshot as the `axqa-bench-baseline/2` JSON
-    /// document (hand-rolled — the workspace carries no serde). v2 adds
-    /// the `ts_build_phases` span breakdown and the per-query p50/p95
-    /// to the `eval_query` block.
+    /// Percentage of the parallel regions' thread-capacity that was
+    /// spent busy: `100 · busy_us / capacity_us` (0 when no parallel
+    /// region ran).
+    pub fn utilization_pct(&self) -> f64 {
+        let busy = self.metrics.counter("parallel.busy_us");
+        let capacity = self.metrics.counter("parallel.capacity_us");
+        if capacity == 0 {
+            0.0
+        } else {
+            100.0 * busy as f64 / capacity as f64
+        }
+    }
+
+    /// Serializes the snapshot as the `axqa-bench-baseline/3` JSON
+    /// document (hand-rolled — the workspace carries no serde). v3 adds
+    /// the `allocation` and `parallel` blocks and drops the dead
+    /// `finalize_us` phase (the `TSBUILD.finalize` span is sweep-only
+    /// and never fires on the bench path); v2 added the
+    /// `ts_build_phases` span breakdown and the per-query p50/p95.
     pub fn to_json(&self) -> String {
         let budgets: Vec<String> = self
             .config
@@ -336,9 +371,20 @@ impl BaselineReport {
                 )
             })
             .collect();
+        let alloc_phases: Vec<String> = ALLOC_PHASE_SPANS
+            .iter()
+            .map(|name| {
+                format!(
+                    "    \"{}\": {{\"allocs\": {}, \"alloc_bytes\": {}}}",
+                    name,
+                    self.metrics.span_alloc_count(name),
+                    self.metrics.span_alloc_bytes(name),
+                )
+            })
+            .collect();
         format!(
             r#"{{
-  "schema": "axqa-bench-baseline/2",
+  "schema": "axqa-bench-baseline/3",
   "machine": {{"os": "{os}", "arch": "{arch}", "cpus": {cpus}, "threads_used": {threads_used}}},
   "config": {{
     "dataset": "{dataset}",
@@ -359,8 +405,20 @@ impl BaselineReport {
     "merge_loop_us": {ph_merge},
     "merge_loop_score_us": {ph_score},
     "merge_loop_apply_us": {ph_apply},
-    "to_sketch_us": {ph_sketch},
-    "finalize_us": {ph_finalize}
+    "to_sketch_us": {ph_sketch}
+  }},
+  "allocation": {{
+    "tracked": {alloc_tracked},
+    "phases": {{
+{alloc_phases}
+    }}
+  }},
+  "parallel": {{
+    "regions": {par_regions},
+    "busy_us": {par_busy},
+    "wall_us": {par_wall},
+    "capacity_us": {par_capacity},
+    "utilization_pct": {par_util}
   }},
   "eval_query": {{"queries": {eq}, "total_ms": {et}, "per_query_us": {epq}, "per_query_us_p50": {p50}, "per_query_us_p95": {p95}}},
   "metrics": {metrics}}}
@@ -384,7 +442,13 @@ impl BaselineReport {
             ph_score = span_total_us(&self.metrics, "TSBUILD.merge_loop.score"),
             ph_apply = span_total_us(&self.metrics, "TSBUILD.merge_loop.apply"),
             ph_sketch = span_total_us(&self.metrics, "TSBUILD.to_sketch"),
-            ph_finalize = span_total_us(&self.metrics, "TSBUILD.finalize"),
+            alloc_tracked = self.alloc_tracked,
+            alloc_phases = alloc_phases.join(",\n"),
+            par_regions = self.metrics.counter("parallel.regions"),
+            par_busy = self.metrics.counter("parallel.busy_us"),
+            par_wall = self.metrics.counter("parallel.wall_us"),
+            par_capacity = self.metrics.counter("parallel.capacity_us"),
+            par_util = json_f(self.utilization_pct()),
             eq = self.eval_queries,
             et = json_f(self.eval_total_ms),
             epq = json_f(self.eval_per_query_us),
@@ -442,6 +506,28 @@ impl BaselineReport {
             span_total_us(&self.metrics, "TSBUILD.merge_loop.score"),
             span_total_us(&self.metrics, "TSBUILD.merge_loop.apply"),
         ));
+        if self.alloc_tracked {
+            out.push_str(&format!(
+                "  allocation: merge_loop.score {} events, EVALQUERY {} events \
+                 ({} bytes)\n",
+                self.metrics.span_alloc_count("TSBUILD.merge_loop.score"),
+                self.metrics.span_alloc_count("EVALQUERY"),
+                self.metrics.span_alloc_bytes("EVALQUERY"),
+            ));
+        } else {
+            out.push_str(
+                "  allocation: untracked (binary did not install the counting allocator)\n",
+            );
+        }
+        if self.metrics.counter("parallel.regions") > 0 {
+            out.push_str(&format!(
+                "  parallel: {} regions, utilization {}% ({} us busy / {} us capacity)\n",
+                self.metrics.counter("parallel.regions"),
+                json_f(self.utilization_pct()),
+                self.metrics.counter("parallel.busy_us"),
+                self.metrics.counter("parallel.capacity_us"),
+            ));
+        }
         // Provenance honesty: a speedup≈1 on a starved host is a
         // measurement artifact, not a perf regression — say so instead
         // of letting the snapshot mislead a review diff.
@@ -491,7 +577,7 @@ mod tests {
         assert!(report.eval_queries > 0);
         let json = report.to_json();
         for key in [
-            "\"schema\": \"axqa-bench-baseline/2\"",
+            "\"schema\": \"axqa-bench-baseline/3\"",
             "\"machine\"",
             "\"cpus\"",
             "\"threads_used\"",
@@ -502,17 +588,24 @@ mod tests {
             "\"merge_loop_us\"",
             "\"merge_loop_score_us\"",
             "\"merge_loop_apply_us\"",
+            "\"allocation\"",
+            "\"tracked\"",
+            "\"TSBUILD.merge_loop.score\": {\"allocs\"",
+            "\"parallel\"",
+            "\"utilization_pct\"",
             "\"eval_query\"",
             "\"per_query_us_p50\"",
             "\"per_query_us_p95\"",
             "\"speedup\"",
             "\"metrics\"",
-            "\"schema\": \"axqa-obs/1\"",
+            "\"schema\": \"axqa-obs/2\"",
             "\"tsbuild.merges\"",
             "\"TSBUILD\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // v3 dropped the dead sweep-only phase from the bench document.
+        assert!(!json.contains("\"finalize_us\""));
         // The embedded snapshot saw the run's work.
         assert!(report.metrics.counter("tsbuild.merges") > 0);
         assert!(report.metrics.span_count("EVALQUERY") > 0);
@@ -558,7 +651,7 @@ mod tests {
             trace.matches("\"ph\": \"E\"").count()
         );
         let metrics = std::fs::read_to_string(config.metrics_out.as_ref().unwrap()).unwrap();
-        assert!(metrics.contains("\"schema\": \"axqa-obs/1\""));
+        assert!(metrics.contains("\"schema\": \"axqa-obs/2\""));
         for path in [
             &config.out,
             config.trace_out.as_ref().unwrap(),

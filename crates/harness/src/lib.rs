@@ -34,7 +34,9 @@
 //! workload size (paper: 1000).
 
 pub mod bench;
+pub mod diff;
 pub mod experiments;
+pub mod json;
 pub mod pipeline;
 pub mod report;
 

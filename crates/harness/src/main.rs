@@ -13,6 +13,11 @@
 //!                       options: --dataset NAME --elements N --queries N
 //!                       --runs N --budgets a,b,c --threads N --seed N
 //!                       --out PATH --trace PATH --metrics PATH
+//!   bench diff OLD NEW  compare two baseline snapshots: ±8% noise
+//!                       threshold on time metrics (--time-pct N),
+//!                       exact match on determinism counters; options:
+//!                       --warn-only-time --out PATH (verdict JSON);
+//!                       exits 1 when the comparison fails
 //!
 //! options:
 //!   --scale F           dataset scale multiplier (default 0.25; 1 = paper)
@@ -25,8 +30,8 @@
 //!   --csv DIR           also write CSV files into DIR
 //!   --trace PATH        record a Chrome trace_event timeline of the run
 //!                       (open in chrome://tracing or ui.perfetto.dev)
-//!   --metrics PATH      write the axqa-obs/1 metrics snapshot (counters,
-//!                       histograms, per-span totals)
+//!   --metrics PATH      write the axqa-obs/2 metrics snapshot (counters,
+//!                       histograms, per-span totals and allocations)
 //! ```
 //!
 //! All argument errors flow back to `main` as `Err(message)` and exit
@@ -40,13 +45,19 @@ use axqa_harness::experiments::{
 use axqa_harness::PipelineConfig;
 use std::process::ExitCode;
 
+/// Every allocation this binary makes is tallied (DESIGN.md §12):
+/// `bench baseline` reports per-phase allocation profiles, and the
+/// `allocation.tracked` flag in the snapshot proves this line exists.
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
+
 const USAGE: &str = "usage: harness <table1|table2|table3|fig11|fig12|fig13|negative|ablation|\
                      family|values|all|bench> [options]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("harness: {message}");
             ExitCode::from(2)
@@ -54,7 +65,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first().cloned() else {
         return Err(USAGE.to_string());
     };
@@ -113,7 +124,7 @@ fn run(args: &[String]) -> Result<(), String> {
         obs.write(&recorder.drain())?;
     }
     println!("# done in {:.1}s", started.elapsed().as_secs_f64());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Where to write the run's observability outputs (`--trace`,
@@ -182,16 +193,21 @@ fn parse_experiment_args(args: &[String]) -> Result<(ExperimentConfig, ObsOutput
     Ok((config, obs))
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     const BENCH_USAGE: &str = "usage: harness bench baseline [--dataset NAME] [--elements N] \
                                [--queries N] [--runs N] [--budgets a,b,c] [--threads N] \
-                               [--seed N] [--out PATH] [--trace PATH] [--metrics PATH]";
+                               [--seed N] [--out PATH] [--trace PATH] [--metrics PATH]\n\
+                               \x20      harness bench diff OLD NEW [--time-pct N] \
+                               [--warn-only-time] [--out PATH]";
     let Some(sub) = args.first() else {
         return Err(BENCH_USAGE.to_string());
     };
+    if sub == "diff" {
+        return cmd_bench_diff(&args[1..]);
+    }
     if sub != "baseline" {
         return Err(format!(
-            "unknown bench subcommand {sub} (expected: baseline)\n{BENCH_USAGE}"
+            "unknown bench subcommand {sub} (expected: baseline | diff)\n{BENCH_USAGE}"
         ));
     }
     let mut config = axqa_harness::bench::BaselineConfig::default();
@@ -240,7 +256,60 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         config.out.display(),
         started.elapsed().as_secs_f64()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_diff(args: &[String]) -> Result<ExitCode, String> {
+    const DIFF_USAGE: &str = "usage: harness bench diff OLD NEW [--time-pct N] \
+                              [--warn-only-time] [--out PATH]";
+    let mut config = axqa_harness::diff::DiffConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--time-pct" => config.time_pct = parse("--time-pct", &value("--time-pct")?)?,
+            "--warn-only-time" => config.warn_only_time = true,
+            "--out" => config.out = Some(value("--out")?.into()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}\n{DIFF_USAGE}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(format!(
+            "bench diff takes exactly two snapshot paths (got {})\n{DIFF_USAGE}",
+            paths.len()
+        ));
+    };
+    if config.time_pct < 0.0 {
+        return Err(format!("--time-pct must be non-negative\n{DIFF_USAGE}"));
+    }
+    let report = axqa_harness::diff::run_diff(old_path, new_path, config);
+    print!("{}", report.render());
+    report.write().map_err(|error| {
+        let out = report
+            .config
+            .out
+            .as_ref()
+            .map_or_else(String::new, |p| p.display().to_string());
+        format!("could not write {out}: {error}")
+    })?;
+    if let Some(path) = &report.config.out {
+        println!("# wrote verdict {}", path.display());
+    }
+    // Comparison failures are exit 1 (distinct from usage errors' 2),
+    // so CI can gate on the verdict.
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn print_one(table: axqa_harness::report::Table) {

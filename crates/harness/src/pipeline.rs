@@ -177,10 +177,15 @@ where
     }
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // Utilization telemetry (DESIGN.md §12): region wall time vs summed
+    // per-worker busy time, same counters as the CREATEPOOL lanes.
+    let region = axqa_obs::Stopwatch::start();
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                let busy = axqa_obs::Stopwatch::start();
                 let mut state = init();
+                let mut items = 0u64;
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
@@ -188,13 +193,26 @@ where
                     }
                     let value = f(&mut state, i);
                     results.lock()[i] = Some(value);
+                    items = items.saturating_add(1);
                 }
+                axqa_obs::counter("parallel.busy_us", busy.elapsed_us());
+                axqa_obs::observe("parallel.worker_items", items);
+                // Tail events land after the last span's eager flush;
+                // push them out before the scope joins past us.
+                axqa_obs::flush();
             });
         }
     });
     if scope_result.is_err() {
         panic!("parallel map worker panicked");
     }
+    let wall_us = region.elapsed_us();
+    axqa_obs::counter("parallel.regions", 1);
+    axqa_obs::counter("parallel.wall_us", wall_us);
+    axqa_obs::counter(
+        "parallel.capacity_us",
+        wall_us.saturating_mul(threads as u64),
+    );
     results
         .into_inner()
         .into_iter()

@@ -350,7 +350,10 @@ impl Rule for NoUnwrap {
 /// (`Result`, rendered `String`s) so callers decide what reaches a
 /// terminal. Binaries may print, but nothing may call
 /// `std::process::exit` — `main` returns `ExitCode`, and `exit` skips
-/// destructors mid-unwind.
+/// destructors mid-unwind. And nothing outside `crates/obs` may touch
+/// `std::alloc` or implement `GlobalAlloc`: the counting allocator
+/// (DESIGN.md §12) is the single installation point for allocation
+/// accounting, and a second allocator wrapper would silently bypass it.
 pub struct ForbiddenApi;
 
 const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
@@ -361,7 +364,8 @@ impl Rule for ForbiddenApi {
     }
     fn describe(&self) -> &'static str {
         "no print macros or raw Instant/SystemTime::now in library code (time via axqa-obs); \
-         no std::process::exit anywhere (return ExitCode)"
+         no std::process::exit anywhere (return ExitCode); no std::alloc/GlobalAlloc outside \
+         crates/obs (allocate through the counting allocator)"
     }
     fn check_file(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
         for (i, token) in file.tokens.iter().enumerate() {
@@ -398,6 +402,35 @@ impl Rule for ForbiddenApi {
                         token,
                         "`std::process::exit` — return ExitCode/Result from main \
                          instead (exit skips destructors)"
+                            .to_string(),
+                    ));
+                }
+            }
+            // Raw allocator access bypasses the allocation accounting
+            // the same way raw clocks bypass the timing layer: axqa-obs
+            // owns the one GlobalAlloc impl (DESIGN.md §12), everything
+            // else installs it via `axqa_obs::alloc::CountingAlloc`.
+            // Applies to binaries too — a bin-local allocator wrapper
+            // would shadow the counting one.
+            if file.crate_name != "axqa-obs" {
+                if text == "alloc" && path_is_std_alloc(file, i) {
+                    findings.push(finding(
+                        self.id(),
+                        file,
+                        token,
+                        "`std::alloc` outside crates/obs — allocation accounting is \
+                         owned by axqa_obs::alloc (DESIGN.md §12)"
+                            .to_string(),
+                    ));
+                }
+                if text == "GlobalAlloc" {
+                    findings.push(finding(
+                        self.id(),
+                        file,
+                        token,
+                        "`GlobalAlloc` outside crates/obs — install \
+                         axqa_obs::alloc::CountingAlloc instead of wrapping the \
+                         allocator again (DESIGN.md §12)"
                             .to_string(),
                     ));
                 }
@@ -439,6 +472,20 @@ fn path_is_process_exit(file: &SourceFile, i: usize) -> bool {
         return false;
     }
     prev_code(&file.tokens, sep).is_some_and(|j| file.tokens[j].text(&file.text) == "process")
+}
+
+/// True when the `alloc` ident at `i` is the module in a `std::alloc`
+/// path (`std::alloc::System`, `use std::alloc::GlobalAlloc`). A bare
+/// `alloc::` path or `Vec::alloc`-style method is not matched — the
+/// rule targets the allocator module, not the common word.
+fn path_is_std_alloc(file: &SourceFile, i: usize) -> bool {
+    let Some(sep) = prev_code(&file.tokens, i) else {
+        return false;
+    };
+    if file.tokens[sep].text(&file.text) != "::" {
+        return false;
+    }
+    prev_code(&file.tokens, sep).is_some_and(|j| file.tokens[j].text(&file.text) == "std")
 }
 
 /// When the `now` ident at `i` is reached via an `Instant::` or
@@ -775,6 +822,69 @@ mod tests {
         .is_empty());
         // Tests inside library files may read the clock.
         let test_code = "#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }\n";
+        assert!(check(
+            &ForbiddenApi,
+            "crates/core/src/build.rs",
+            "axqa-core",
+            false,
+            test_code
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn forbidden_api_allocator_access_outside_obs() {
+        // `std::alloc` paths are banned in libraries and binaries alike…
+        let use_alloc = "use std::alloc::{GlobalAlloc, Layout};\n";
+        let v = check(
+            &ForbiddenApi,
+            "crates/core/src/cluster.rs",
+            "axqa-core",
+            false,
+            use_alloc,
+        );
+        assert_eq!(v.len(), 2, "{v:?}"); // the path and the trait name
+        assert!(v[0].message.contains("std::alloc"));
+        let direct = "fn f(l: Layout) { let p = unsafe { std::alloc::alloc(l) }; drop(p); }\n";
+        let v = check(
+            &ForbiddenApi,
+            "crates/harness/src/main.rs",
+            "axqa-harness",
+            true,
+            direct,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        // …as is a second GlobalAlloc impl anywhere outside obs.
+        let wrapper = "struct MyAlloc;\nunsafe impl GlobalAlloc for MyAlloc {}\n";
+        let v = check(
+            &ForbiddenApi,
+            "crates/bench/src/lib.rs",
+            "axqa-bench",
+            false,
+            wrapper,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("GlobalAlloc"));
+        // axqa-obs owns the allocator; other `alloc` idents are fine.
+        assert!(check(
+            &ForbiddenApi,
+            "crates/obs/src/alloc.rs",
+            "axqa-obs",
+            false,
+            use_alloc
+        )
+        .is_empty());
+        let ok = "fn f(a: &Arena) { a.alloc(4); my::alloc::helper(); }\n";
+        assert!(check(
+            &ForbiddenApi,
+            "crates/core/src/build.rs",
+            "axqa-core",
+            false,
+            ok
+        )
+        .is_empty());
+        // Test code may build throwaway allocator fixtures.
+        let test_code = "#[cfg(test)]\nmod tests { use std::alloc::GlobalAlloc; fn t() {} }\n";
         assert!(check(
             &ForbiddenApi,
             "crates/core/src/build.rs",

@@ -1,6 +1,6 @@
 //! Exporters for a drained [`Snapshot`]: Chrome `trace_event` JSON for
-//! `chrome://tracing`/Perfetto, and the flat `axqa-obs/1` metrics
-//! document embedded in bench reports (DESIGN.md §9).
+//! `chrome://tracing`/Perfetto, and the flat `axqa-obs/2` metrics
+//! document embedded in bench reports (DESIGN.md §9, §12).
 //!
 //! Both are hand-rolled JSON, same as the bench/lint reports — the
 //! crate stays dependency-free.
@@ -98,12 +98,15 @@ fn end_event(pid: u32, tid: u64, span: &SpanRecord) -> String {
     )
 }
 
-/// Renders the snapshot as the flat `axqa-obs/1` metrics document:
+/// Renders the snapshot as the flat `axqa-obs/2` metrics document:
 /// counter totals, histogram summaries, and per-name span aggregates
-/// (count / total / max microseconds). This is what `harness bench
+/// (count / total / max microseconds, plus the allocation events,
+/// bytes, and worst peak-live delta exclusively attributed to spans of
+/// that name — all zero unless the binary installed
+/// [`crate::alloc::CountingAlloc`]). This is what `harness bench
 /// baseline` embeds in BENCH_core.json and writes to `--metrics PATH`.
 pub fn metrics_json(snapshot: &Snapshot) -> String {
-    let mut out = String::from("{\n  \"schema\": \"axqa-obs/1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"axqa-obs/2\",\n");
     out.push_str(&format!("  \"process_id\": {},\n", snapshot.process_id));
 
     out.push_str("  \"counters\": {");
@@ -142,21 +145,40 @@ pub fn metrics_json(snapshot: &Snapshot) -> String {
 
     // Aggregate spans by name: the trace file has the full timeline,
     // the metrics document only the totals.
-    let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    #[derive(Default)]
+    struct SpanAgg {
+        count: u64,
+        total_us: u64,
+        max_us: u64,
+        allocs: u64,
+        alloc_bytes: u64,
+        peak_live_bytes: u64,
+    }
+    let mut by_name: BTreeMap<&str, SpanAgg> = BTreeMap::new();
     for span in &snapshot.spans {
         let duration = span.end_us.saturating_sub(span.start_us);
-        let entry = by_name.entry(span.name).or_insert((0, 0, 0));
-        entry.0 += 1;
-        entry.1 = entry.1.saturating_add(duration);
-        entry.2 = entry.2.max(duration);
+        let entry = by_name.entry(span.name).or_default();
+        entry.count += 1;
+        entry.total_us = entry.total_us.saturating_add(duration);
+        entry.max_us = entry.max_us.max(duration);
+        entry.allocs = entry.allocs.saturating_add(span.alloc_count);
+        entry.alloc_bytes = entry.alloc_bytes.saturating_add(span.alloc_bytes);
+        entry.peak_live_bytes = entry.peak_live_bytes.max(span.peak_live_delta);
     }
     out.push_str("  \"spans\": {");
     let spans: Vec<String> = by_name
         .iter()
-        .map(|(name, (count, total_us, max_us))| {
+        .map(|(name, agg)| {
             format!(
-                "\n    \"{}\": {{\"count\": {count}, \"total_us\": {total_us}, \"max_us\": {max_us}}}",
-                escape_json(name)
+                "\n    \"{}\": {{\"count\": {}, \"total_us\": {}, \"max_us\": {}, \
+                 \"allocs\": {}, \"alloc_bytes\": {}, \"peak_live_bytes\": {}}}",
+                escape_json(name),
+                agg.count,
+                agg.total_us,
+                agg.max_us,
+                agg.allocs,
+                agg.alloc_bytes,
+                agg.peak_live_bytes,
             )
         })
         .collect();
@@ -187,7 +209,7 @@ mod tests {
         assert!(trace.starts_with("{\"traceEvents\": ["));
         assert!(trace.trim_end().ends_with("]}"));
         let metrics = metrics_json(&snapshot);
-        assert!(metrics.contains("\"schema\": \"axqa-obs/1\""));
+        assert!(metrics.contains("\"schema\": \"axqa-obs/2\""));
         assert!(metrics.contains("\"counters\": {}"));
         assert!(metrics.contains("\"spans\": {}"));
     }
@@ -205,6 +227,9 @@ mod tests {
                     start_us: 10,
                     end_us: 20,
                     arg: None,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
+                    peak_live_delta: 0,
                 },
                 crate::SpanRecord {
                     name: "second",
@@ -214,6 +239,9 @@ mod tests {
                     start_us: 30,
                     end_us: 40,
                     arg: None,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
+                    peak_live_delta: 0,
                 },
             ],
             counters: Vec::new(),

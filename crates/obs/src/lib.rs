@@ -44,8 +44,14 @@
 //! This crate is the workspace's single monotonic-clock authority: the
 //! `forbidden-api` lint rule bans raw `Instant::now`/`SystemTime::now`
 //! in every other library crate, which route wall-clock timing through
-//! [`Stopwatch`] instead.
+//! [`Stopwatch`] instead. It is also the single allocation-accounting
+//! authority: binaries install [`alloc::CountingAlloc`] as the global
+//! allocator (`std::alloc`/`GlobalAlloc` are lint-banned elsewhere),
+//! and every span then carries the allocation count / bytes /
+//! peak-live delta of the work it timed — see [`SpanRecord`] and
+//! DESIGN.md §12.
 
+pub mod alloc;
 pub mod export;
 mod recorder;
 
@@ -100,6 +106,20 @@ pub fn observe(name: &'static str, value: u64) {
     }
 }
 
+/// Flushes the calling thread's buffered events into the installed
+/// recorder.
+///
+/// Buffers flush eagerly when a top-level span closes and once more
+/// when the thread exits — but a joined scope can return *before* the
+/// worker's thread-local destructors have run, so events recorded
+/// after the worker's last span (end-of-lane counters like
+/// `parallel.busy_us`) would race with the joining thread's `drain`.
+/// Worker closures that record such tail events must call this before
+/// returning.
+pub fn flush() {
+    recorder::flush_current_thread();
+}
+
 /// Monotonic stopwatch — the sanctioned wall-clock timing primitive for
 /// library crates (the `forbidden-api` rule bans raw `Instant::now`
 /// outside this crate so all timing flows through the recorder's clock).
@@ -125,15 +145,24 @@ impl Stopwatch {
     pub fn elapsed_ms(&self) -> f64 {
         self.elapsed().as_secs_f64() * 1_000.0
     }
+
+    /// Elapsed whole microseconds, saturating — the unit the
+    /// `parallel.*` utilization counters are kept in (DESIGN.md §12).
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
 }
+
+/// Process-wide observability state (recorder gate, alloc tracking) is
+/// shared by unit tests across modules; they all serialize on this.
+#[cfg(test)]
+pub(crate) static TEST_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
-    /// Global-recorder tests share process-wide state; serialize them.
-    static GATE: Mutex<()> = Mutex::new(());
+    use crate::TEST_GATE as GATE;
 
     #[test]
     fn disabled_instrumentation_records_nothing() {

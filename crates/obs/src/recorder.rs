@@ -4,6 +4,17 @@
 //! Hot-path writes touch only thread-local state; the shared mutex is
 //! taken when a top-level span closes, a buffer reaches
 //! [`FLUSH_THRESHOLD`] spans, or a thread exits (the buffer's `Drop`).
+//!
+//! Spans double as allocation windows (DESIGN.md §12): opening a span
+//! opens a [`crate::alloc`] window on the same thread, and closing it
+//! attributes the window's allocation events to the span —
+//! *exclusively*, i.e. each allocation belongs to the innermost span
+//! open on its thread when it happened (child totals are subtracted
+//! from the parent). Recorder bookkeeping — stack pushes, record
+//! pushes, buffer flushes, counter-map inserts — runs with tracking
+//! suspended on the thread, so observer cost is attributed to *no*
+//! span: a mid-loop buffer flush cannot pollute the hot-path span that
+//! happens to be open around it.
 //! Worker threads in this workspace are scoped (`crossbeam::scope` /
 //! `std::thread::scope`) and therefore exit — running their flush —
 //! before the spawning code can call [`Recorder::drain`], so a drain
@@ -137,6 +148,16 @@ pub struct SpanRecord {
     pub end_us: u64,
     /// Optional numeric argument (`("budget_bytes", 10240)`).
     pub arg: Option<(&'static str, u64)>,
+    /// Heap allocation events attributed to this span: allocations
+    /// performed on the span's thread while it was the *innermost*
+    /// open span (exclusive — child spans' events are subtracted).
+    /// Zero unless the binary installed [`crate::alloc::CountingAlloc`].
+    pub alloc_count: u64,
+    /// Bytes requested by those allocation events.
+    pub alloc_bytes: u64,
+    /// How far the thread's live heap rose above its size at span open
+    /// (child-inclusive: a child's transient peak is the parent's too).
+    pub peak_live_delta: u64,
 }
 
 /// Everything a [`Recorder::drain`] hands back, in deterministic order:
@@ -165,6 +186,24 @@ impl Snapshot {
     /// Number of completed spans with the given name.
     pub fn span_count(&self, name: &str) -> usize {
         self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Total allocation events attributed (exclusively) to spans with
+    /// the given name — the dynamic alloc-free check reads this.
+    pub fn span_alloc_count(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .fold(0u64, |acc, s| acc.saturating_add(s.alloc_count))
+    }
+
+    /// Total bytes of the allocation events attributed to spans with
+    /// the given name.
+    pub fn span_alloc_bytes(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .fold(0u64, |acc, s| acc.saturating_add(s.alloc_bytes))
     }
 }
 
@@ -199,6 +238,10 @@ impl Recorder {
         *global = Some(self.clone());
         GENERATION.fetch_add(1, Ordering::Relaxed);
         ENABLED.store(true, Ordering::Relaxed);
+        // Allocation tracking rides the same gate: counting starts when
+        // a recorder can attribute the deltas (no-op unless the binary
+        // installed crate::alloc::CountingAlloc).
+        crate::alloc::set_tracking(true);
     }
 
     /// Flushes the calling thread's buffer and moves all merged events
@@ -251,6 +294,7 @@ pub fn uninstall() -> Option<Recorder> {
     flush_current_thread();
     let mut global = lock_unpoisoned(&GLOBAL);
     ENABLED.store(false, Ordering::Relaxed);
+    crate::alloc::set_tracking(false);
     GENERATION.fetch_add(1, Ordering::Relaxed);
     global.take()
 }
@@ -262,6 +306,13 @@ struct Pending {
     parent: Option<u64>,
     start_us: u64,
     arg: Option<(&'static str, u64)>,
+    /// Allocation-counter snapshot at open (see [`crate::alloc`]).
+    window: crate::alloc::AllocWindow,
+    /// Total allocation events of already-closed child spans, to be
+    /// subtracted for this span's exclusive attribution.
+    child_allocs: u64,
+    /// Bytes of those child events.
+    child_bytes: u64,
 }
 
 /// Per-thread event buffer: all hot-path writes land here; `flush`
@@ -329,7 +380,7 @@ impl Drop for ThreadBuf {
 }
 
 /// Flushes the calling thread's buffer into its bound recorder.
-fn flush_current_thread() {
+pub(crate) fn flush_current_thread() {
     // try_with: a no-op during thread teardown (Drop flushes there).
     let _ = TLS.try_with(|tls| tls.borrow_mut().flush());
 }
@@ -348,6 +399,9 @@ impl SpanGuard {
 }
 
 pub(crate) fn begin_span(name: &'static str, arg: Option<(&'static str, u64)>) -> SpanGuard {
+    // Recorder bookkeeping (stack push, possible rebind flush) is
+    // observer cost, not workload: keep it out of every alloc window.
+    let _untracked = crate::alloc::suspend_tracking();
     let active = TLS
         .try_with(|tls| {
             let mut buf = tls.borrow_mut();
@@ -363,7 +417,17 @@ pub(crate) fn begin_span(name: &'static str, arg: Option<(&'static str, u64)>) -
                 parent,
                 start_us: monotonic_micros(),
                 arg,
+                window: crate::alloc::AllocWindow::default(),
+                child_allocs: 0,
+                child_bytes: 0,
             });
+            // Open the allocation window last so the span measures only
+            // the caller's work from here on (the push above was
+            // suspended anyway).
+            let window = crate::alloc::begin_window();
+            if let Some(pending) = buf.stack.last_mut() {
+                pending.window = window;
+            }
             true
         })
         .unwrap_or(false);
@@ -376,11 +440,19 @@ impl Drop for SpanGuard {
             return;
         }
         let end_us = monotonic_micros();
+        // Suspended: the record push and a possible buffer flush below
+        // must not be charged to the still-open parent spans.
+        let _untracked = crate::alloc::suspend_tracking();
         let _ = TLS.try_with(|tls| {
             let mut buf = tls.borrow_mut();
             let Some(pending) = buf.stack.pop() else {
                 return;
             };
+            let delta = crate::alloc::end_window(pending.window);
+            if let Some(parent) = buf.stack.last_mut() {
+                parent.child_allocs = parent.child_allocs.saturating_add(delta.allocs);
+                parent.child_bytes = parent.child_bytes.saturating_add(delta.bytes);
+            }
             let tid = buf.tid;
             buf.spans.push(SpanRecord {
                 name: pending.name,
@@ -390,6 +462,9 @@ impl Drop for SpanGuard {
                 start_us: pending.start_us,
                 end_us,
                 arg: pending.arg,
+                alloc_count: delta.allocs.saturating_sub(pending.child_allocs),
+                alloc_bytes: delta.bytes.saturating_sub(pending.child_bytes),
+                peak_live_delta: delta.peak_live_delta,
             });
             // Merge into the shared sink at quiescence (no span open on
             // this thread) or when the local buffer grows large.
@@ -401,6 +476,7 @@ impl Drop for SpanGuard {
 }
 
 pub(crate) fn add_counter(name: &'static str, delta: u64) {
+    let _untracked = crate::alloc::suspend_tracking();
     let _ = TLS.try_with(|tls| {
         let mut buf = tls.borrow_mut();
         buf.rebind();
@@ -413,6 +489,7 @@ pub(crate) fn add_counter(name: &'static str, delta: u64) {
 }
 
 pub(crate) fn record_value(name: &'static str, value: u64) {
+    let _untracked = crate::alloc::suspend_tracking();
     let _ = TLS.try_with(|tls| {
         let mut buf = tls.borrow_mut();
         buf.rebind();

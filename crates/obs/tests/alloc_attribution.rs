@@ -1,0 +1,140 @@
+// Integration tests opt back into panicking extractors (workspace lint
+// table, DESIGN.md "Static analysis & invariants").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Pins `SpanGuard` allocation-delta attribution (ISSUE 9): exclusive
+//! parent/child accounting under nested spans, zero-cost observer
+//! bookkeeping, and stability across thread-local buffer flushes (the
+//! 1024-span eager flush fires mid-parent here).
+//!
+//! This test binary installs [`axqa_obs::alloc::CountingAlloc`] as its
+//! global allocator — the same wiring the harness and xtask binaries
+//! use — so the spans observe real heap traffic.
+
+use axqa_obs::alloc::CountingAlloc;
+use axqa_obs::{span, uninstall, Recorder, Snapshot};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Recorder install/uninstall and alloc tracking are process-wide;
+/// serialize the tests in this binary.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn record(work: impl FnOnce()) -> Snapshot {
+    let recorder = Recorder::new();
+    recorder.install();
+    work();
+    uninstall();
+    recorder.drain()
+}
+
+fn only<'a>(snapshot: &'a Snapshot, name: &str) -> &'a axqa_obs::SpanRecord {
+    let mut matching = snapshot.spans.iter().filter(|s| s.name == name);
+    let span = matching.next().unwrap_or_else(|| panic!("span {name}"));
+    assert!(matching.next().is_none(), "span {name} recorded once");
+    span
+}
+
+#[test]
+fn nested_spans_attribute_allocations_exclusively() {
+    let _gate = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let snapshot = record(|| {
+        let _outer = span("outer");
+        let outer_buf: Vec<u8> = std::hint::black_box(Vec::with_capacity(1024));
+        {
+            let _inner = span("inner");
+            let inner_buf: Vec<u8> = std::hint::black_box(Vec::with_capacity(65536));
+            drop(inner_buf);
+        }
+        drop(outer_buf);
+    });
+    let outer = only(&snapshot, "outer");
+    let inner = only(&snapshot, "inner");
+    // The inner span owns its 64 KiB vec...
+    assert!(
+        inner.alloc_count >= 1,
+        "inner events: {}",
+        inner.alloc_count
+    );
+    assert!(
+        inner.alloc_bytes >= 65536,
+        "inner bytes: {}",
+        inner.alloc_bytes
+    );
+    assert!(inner.peak_live_delta >= 65536);
+    // ...and the outer span does NOT: its exclusive tally is its own
+    // 1 KiB vec, strictly below the child's traffic.
+    assert!(outer.alloc_count >= 1);
+    assert!(outer.alloc_bytes >= 1024);
+    assert!(
+        outer.alloc_bytes < 65536,
+        "child allocations leaked into the parent: {} bytes",
+        outer.alloc_bytes
+    );
+}
+
+#[test]
+fn empty_spans_and_observer_bookkeeping_cost_zero_allocations() {
+    let _gate = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let snapshot = record(|| {
+        // Warm the recorder's thread-local buffers first.
+        {
+            let _warm = span("warmup");
+        }
+        let _parent = span("quiet_parent");
+        for _ in 0..64 {
+            let _child = span("quiet_child");
+            axqa_obs::counter("quiet.counter", 1);
+        }
+    });
+    // A span that does no caller work records zero allocations even
+    // though the recorder itself pushed records and counter entries —
+    // bookkeeping runs with tracking suspended.
+    let parent = only(&snapshot, "quiet_parent");
+    assert_eq!(parent.alloc_count, 0, "observer cost charged to parent");
+    assert_eq!(parent.alloc_bytes, 0);
+    assert_eq!(snapshot.span_alloc_count("quiet_child"), 0);
+    assert_eq!(snapshot.span_alloc_bytes("quiet_child"), 0);
+}
+
+#[test]
+fn attribution_survives_thread_local_buffer_flushes() {
+    let _gate = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // 1500 children exceed the 1024-span FLUSH_THRESHOLD, so the
+    // thread buffer flushes to the shared sink while `parent` is still
+    // open; its window and child tallies must survive the flush.
+    const CHILDREN: u64 = 1500;
+    let snapshot = record(|| {
+        let _parent = span("flush_parent");
+        let parent_buf: Vec<u8> = std::hint::black_box(Vec::with_capacity(32768));
+        for _ in 0..CHILDREN {
+            let _child = span("flush_child");
+            let small: Vec<u8> = std::hint::black_box(Vec::with_capacity(256));
+            drop(small);
+        }
+        drop(parent_buf);
+    });
+    assert_eq!(
+        snapshot.span_count("flush_child"),
+        usize::try_from(CHILDREN).unwrap()
+    );
+    assert!(snapshot.span_alloc_count("flush_child") >= CHILDREN);
+    assert!(snapshot.span_alloc_bytes("flush_child") >= CHILDREN * 256);
+    let parent = only(&snapshot, "flush_parent");
+    // Exclusive: the children's 1500 events stay out of the parent.
+    assert!(parent.alloc_count >= 1);
+    assert!(
+        parent.alloc_count < 100,
+        "children or flush bookkeeping charged to parent: {} events",
+        parent.alloc_count
+    );
+    assert!(parent.alloc_bytes >= 32768);
+    assert!(parent.peak_live_delta >= 32768);
+}

@@ -5,7 +5,8 @@
 //! Golden-file test for the Chrome `trace_event` exporter (ISSUE 4
 //! satellite): name escaping, `ph: B`/`E` pairing, and `pid`/`tid`
 //! fields are pinned byte-for-byte against `tests/golden/trace.json`,
-//! and the `axqa-obs/1` metrics document shape is asserted alongside.
+//! and the `axqa-obs/2` metrics document shape (including the per-span
+//! allocation aggregates from ISSUE 9) is asserted alongside.
 
 use axqa_obs::export::{chrome_trace, metrics_json};
 use axqa_obs::{Histogram, Snapshot, SpanRecord};
@@ -28,6 +29,9 @@ fn fixture() -> Snapshot {
                 start_us: 100,
                 end_us: 900,
                 arg: Some(("budget_bytes", 10_240)),
+                alloc_count: 5,
+                alloc_bytes: 4096,
+                peak_live_delta: 2048,
             },
             SpanRecord {
                 name: "CREATEPOOL",
@@ -37,6 +41,9 @@ fn fixture() -> Snapshot {
                 start_us: 120,
                 end_us: 400,
                 arg: Some(("clusters", 16)),
+                alloc_count: 2,
+                alloc_bytes: 1024,
+                peak_live_delta: 512,
             },
             SpanRecord {
                 name: "score \"w\\0\"",
@@ -46,6 +53,9 @@ fn fixture() -> Snapshot {
                 start_us: 130,
                 end_us: 390,
                 arg: None,
+                alloc_count: 0,
+                alloc_bytes: 0,
+                peak_live_delta: 0,
             },
             SpanRecord {
                 name: "TSBUILD.merge_loop",
@@ -55,6 +65,9 @@ fn fixture() -> Snapshot {
                 start_us: 410,
                 end_us: 880,
                 arg: None,
+                alloc_count: 0,
+                alloc_bytes: 0,
+                peak_live_delta: 0,
             },
         ],
         counters: vec![
@@ -98,15 +111,24 @@ fn chrome_trace_pairs_begin_and_end_events() {
 }
 
 #[test]
-fn metrics_json_has_the_axqa_obs_1_shape() {
+fn metrics_json_has_the_axqa_obs_2_shape() {
     let metrics = metrics_json(&fixture());
-    assert!(metrics.contains("\"schema\": \"axqa-obs/1\""));
+    assert!(metrics.contains("\"schema\": \"axqa-obs/2\""));
     assert!(metrics.contains("\"process_id\": 4242"));
     assert!(metrics.contains("\"tsbuild.merges\": 12"));
     assert!(metrics.contains("\"evalquery.automaton_states\": 57"));
     assert!(metrics.contains("\"pool.candidates\": {\"count\": 2, \"sum\": 203, \"max\": 200,"));
-    // Span aggregates: TSBUILD appears once, 800us total.
-    assert!(metrics.contains("\"TSBUILD\": {\"count\": 1, \"total_us\": 800, \"max_us\": 800}"));
+    // Span aggregates carry the exclusive allocation profile: TSBUILD
+    // appears once, 800us total, 5 allocation events.
+    assert!(metrics.contains(
+        "\"TSBUILD\": {\"count\": 1, \"total_us\": 800, \"max_us\": 800, \
+         \"allocs\": 5, \"alloc_bytes\": 4096, \"peak_live_bytes\": 2048}"
+    ));
+    // The merge loop's alloc-free claim shows up as literal zeros.
+    assert!(metrics.contains(
+        "\"TSBUILD.merge_loop\": {\"count\": 1, \"total_us\": 470, \"max_us\": 470, \
+         \"allocs\": 0, \"alloc_bytes\": 0, \"peak_live_bytes\": 0}"
+    ));
     // Balanced braces/brackets — same well-formedness check the bench
     // report test uses (no serde in the workspace to parse with).
     assert_eq!(metrics.matches('{').count(), metrics.matches('}').count());

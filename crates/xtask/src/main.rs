@@ -20,12 +20,17 @@
 //! PATH` does the same for the SARIF 2.1.0 log that CI feeds to
 //! GitHub code scanning. `--metrics PATH` drains the lint run's own
 //! axqa-obs spans (`lint.tokenize`, `lint.parse`, `lint.callgraph`,
-//! `lint.rules`, `lint.fixpoint`) into an `axqa-obs/1` metrics file so
+//! `lint.rules`, `lint.fixpoint`) into an `axqa-obs/2` metrics file so
 //! lint runtime regressions surface like any other phase.
 
 use std::process::ExitCode;
 
 use axqa_lint::engine::{self, UpdateFlags};
+
+/// The lint run's `--metrics` spans carry allocation profiles like
+/// every other instrumented binary (DESIGN.md §12).
+#[global_allocator]
+static ALLOC: axqa_obs::alloc::CountingAlloc = axqa_obs::alloc::CountingAlloc;
 
 const USAGE: &str = "usage: cargo xtask lint [--format text|json|sarif] [--out PATH] \
                      [--sarif PATH] [--metrics PATH] [--update-baseline] \
