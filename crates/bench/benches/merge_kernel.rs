@@ -77,6 +77,20 @@ fn bench_evaluate_merge(c: &mut Criterion) {
                 acc
             })
         });
+        // The retained hashmap reference, for contrast with the
+        // structure-of-arrays scratch path above (same pairs, same
+        // results bitwise — proptest_merge_kernel pins that; this group
+        // quantifies what the SoA layout + err-total cache buy).
+        group.bench_function(format!("evaluate_merge_reference/{elements}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for &(x, y) in &pairs {
+                    let delta = state.evaluate_merge_reference(x, y);
+                    acc += delta.errd;
+                }
+                acc
+            })
+        });
     }
     group.finish();
 }

@@ -7,7 +7,7 @@
 //! node depths bottom-up, mirroring the paper's observation that good
 //! merges happen near the leaves first.
 //!
-//! Deviations from the pseudo-code, both behavior-preserving:
+//! Deviations from the pseudo-code, all behavior-preserving:
 //!
 //! * Instead of eagerly re-evaluating `affected(h, m)` after each merge,
 //!   heap entries carry the stats *versions* of their two clusters and
@@ -15,6 +15,14 @@
 //!   clusters forward to their successor, implementing the paper's
 //!   "replace `m'` by a merge with `u_m`" rule. Every applied merge is
 //!   therefore ranked by its *current* ratio, as in the paper.
+//! * Stale re-evaluation itself is served by the
+//!   [`crate::queue::MergeQueue`] score memo (DESIGN.md §13): only pops
+//!   *adjacent* to an applied merge — endpoints whose merge-generation
+//!   stamps moved — re-run `evaluate_merge`; every other stale pop
+//!   re-pushes its memoized, bit-identical score
+//!   (`tsbuild.stale_skipped`). [`ts_build_eager`] preserves the
+//!   pre-memo loop as the reference oracle that
+//!   `tests/proptest_lazy_queue.rs` pins the production path against.
 //! * Within one `(label, depth)` group, `CREATEPOOL` evaluates all pairs
 //!   only while the group is small; for large groups it sorts members by
 //!   a cheap structural key and proposes sliding-window neighbor pairs.
@@ -30,6 +38,7 @@
 //!   the serial run. See DESIGN.md §4.6 for the determinism argument.
 
 use crate::cluster::{ClusterState, PartitionSnapshot, ScoreScratch};
+use crate::queue::{MergeCandidate, MergeQueue, QueueStats};
 use crate::sketch::TreeSketch;
 use axqa_synopsis::{SizeModel, StableSummary};
 use axqa_xml::fxhash::FxHashMap;
@@ -56,6 +65,11 @@ pub struct BuildConfig {
     /// snapshot finalization: `0` = available parallelism, `1` = the
     /// serial code path. Any value produces bit-identical output.
     pub threads: usize,
+    /// Record every applied merge into [`BuildReport::merge_log`].
+    /// Off by default: the log is test/diagnostic machinery (the
+    /// lazy-vs-eager equivalence oracle compares full sequences) and
+    /// recording it would allocate inside the merge loop.
+    pub record_merges: bool,
 }
 
 impl BuildConfig {
@@ -69,6 +83,7 @@ impl BuildConfig {
             group_all_pairs_cap: 48,
             window: 4,
             threads: 0,
+            record_merges: false,
         }
     }
 
@@ -102,48 +117,9 @@ pub struct BuildReport {
     pub squared_error: f64,
     /// Stable-class → sketch-node assignment (value layer, diagnostics).
     pub stable_assignment: Vec<u32>,
-}
-
-/// Heap entry: a candidate merge with the metrics it was ranked by.
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    ratio: f64,
-    a: u32,
-    b: u32,
-    version_a: u64,
-    version_b: u64,
-}
-
-impl Candidate {
-    /// Total order all heaps rank by: ratio via `f64::total_cmp` (a NaN
-    /// ratio from a degenerate 0/0 merge delta sorts *last*, never
-    /// scrambling the heap), ties broken on the pair ids so the order —
-    /// and with it the parallel/serial merge of bounded pools — is
-    /// deterministic.
-    fn order_key(&self, other: &Self) -> Ordering {
-        self.ratio
-            .total_cmp(&other.ratio)
-            .then_with(|| self.a.cmp(&other.a))
-            .then_with(|| self.b.cmp(&other.b))
-    }
-}
-
-impl PartialEq for Candidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.order_key(other) == Ordering::Equal
-    }
-}
-impl Eq for Candidate {}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the min ratio on top.
-        other.order_key(self)
-    }
+    /// Applied merges in order (resolved pair ids), recorded only when
+    /// [`BuildConfig::record_merges`] is set; empty otherwise.
+    pub merge_log: Vec<(u32, u32)>,
 }
 
 /// `TSBUILD` (Fig. 5): compress the stable summary of a document to
@@ -225,7 +201,8 @@ fn ts_build_to_budget(
     let _span = axqa_obs::span_with("TSBUILD", "budget_bytes", budget_bytes as u64);
     let mut merges = 0usize;
     let mut pool_rebuilds = 0usize;
-    let mut reevals = 0u64;
+    let mut queue_stats = QueueStats::default();
+    let mut merge_log: Vec<(u32, u32)> = Vec::new();
     // One scratch serves every lazy re-evaluation of this build; the
     // CREATEPOOL workers carry their own.
     let mut scratch = ScoreScratch::new();
@@ -242,53 +219,44 @@ fn ts_build_to_budget(
         } else {
             0
         };
-        let _merge_span = axqa_obs::span_with("TSBUILD.merge_loop", "pool", pool.len() as u64);
-        let mut heap: BinaryHeap<Candidate> = pool.into();
+        // Queue construction (heapify + score-memo seeding) allocates,
+        // so it happens before the merge_loop span opens: the loop
+        // itself stays allocation-free (tests/alloc_free.rs), with the
+        // remaining evaluate_merge scratch growth and memo inserts
+        // attributed to the merge_loop.score stretch span.
+        let mut queue = MergeQueue::from_pool(pool, state);
+        let _merge_span = axqa_obs::span_with("TSBUILD.merge_loop", "pool", queue.len() as u64);
         let merges_before = merges;
-        // Contiguous runs of stale re-scorings share one stretch span
-        // (per-candidate spans at ~half a million pops would dwarf the
-        // work being measured); each applied merge gets its own span.
-        let mut score_span: Option<axqa_obs::SpanGuard> = None;
-        while state.size_bytes() > budget_bytes && heap.len() > lower {
-            let Some(cand) = heap.pop() else { break };
-            let a = state.resolve(cand.a);
-            let b = state.resolve(cand.b);
-            if a == b {
-                continue; // both sides already merged together
-            }
-            let fresh = a == cand.a
-                && b == cand.b
-                && state.version_of(a) == cand.version_a
-                && state.version_of(b) == cand.version_b;
-            if !fresh {
-                // Re-rank with current metrics (the paper's replacement
-                // + affected-set recomputation, done lazily).
-                if score_span.is_none() {
-                    score_span = Some(axqa_obs::span("TSBUILD.merge_loop.score"));
-                }
-                reevals = reevals.saturating_add(1);
-                let delta = state.evaluate_merge(a, b, &mut scratch);
-                heap.push(Candidate {
-                    ratio: delta.ratio(),
-                    a,
-                    b,
-                    version_a: state.version_of(a),
-                    version_b: state.version_of(b),
-                });
-                continue;
-            }
-            score_span = None; // close the stretch before applying
+        while state.size_bytes() > budget_bytes {
+            let Some((a, b)) = queue.next_merge(state, &mut scratch, lower) else {
+                break; // drained to Lh without a fresh applicable merge
+            };
             let _apply_span = axqa_obs::span("TSBUILD.merge_loop.apply");
             state.apply_merge(a, b);
             merges += 1;
+            if config.record_merges {
+                merge_log.push((a, b));
+            }
         }
-        drop(score_span);
+        let round = queue.stats();
+        queue_stats.reevals = queue_stats.reevals.saturating_add(round.reevals);
+        queue_stats.stale_skipped = queue_stats
+            .stale_skipped
+            .saturating_add(round.stale_skipped);
+        queue_stats.adjacent_rescored = queue_stats
+            .adjacent_rescored
+            .saturating_add(round.adjacent_rescored);
         if merges == merges_before {
             break; // pool yielded no applicable merge: avoid spinning
         }
     }
 
-    axqa_obs::counter("tsbuild.reevals", reevals);
+    // The eager loop's tsbuild.reevals was reevals + stale_skipped: the
+    // memo converts the skipped share into heap re-pushes with no
+    // evaluate_merge behind them.
+    axqa_obs::counter("tsbuild.reevals", queue_stats.reevals);
+    axqa_obs::counter("tsbuild.stale_skipped", queue_stats.stale_skipped);
+    axqa_obs::counter("tsbuild.adjacent_rescored", queue_stats.adjacent_rescored);
     axqa_obs::counter("tsbuild.merges", merges as u64);
     axqa_obs::counter("tsbuild.pool_rebuilds", pool_rebuilds as u64);
     let final_bytes = state.size_bytes();
@@ -301,6 +269,108 @@ fn ts_build_to_budget(
         final_bytes,
         squared_error: state.squared_error(),
         stable_assignment,
+        merge_log,
+    })
+}
+
+/// The pre-memo eager TSBUILD merge loop (paper §4.2, Fig. 6),
+/// preserved verbatim as the reference oracle: every stale pop re-runs
+/// `evaluate_merge` immediately, with no score memo in between. `tests/proptest_lazy_queue.rs` pins the
+/// production [`try_ts_build`] path bitwise against this function —
+/// same merge sequence ([`BuildReport::merge_log`] under
+/// [`BuildConfig::record_merges`]), same `squared_error` bits, same
+/// final bytes — under random documents × budgets.
+///
+/// Not on the production path and deliberately unobserved: it emits no
+/// `TSBUILD` spans or `tsbuild.*` counters of its own (the `CREATEPOOL`
+/// spans and counters of the shared pool generation still fire), so
+/// running the oracle next to a measured build does not skew the
+/// build's metrics.
+///
+/// # Errors
+///
+/// Rejects an empty stable summary
+/// ([`crate::error::AxqaError::EmptySynopsis`]) and a zero byte budget
+/// ([`crate::error::AxqaError::InvalidBudget`]), exactly like
+/// [`try_ts_build`].
+pub fn ts_build_eager(
+    stable: &StableSummary,
+    config: &BuildConfig,
+) -> Result<BuildReport, crate::error::AxqaError> {
+    if stable.is_empty() {
+        return Err(crate::error::AxqaError::EmptySynopsis {
+            context: "ts_build",
+        });
+    }
+    let budget_bytes = config.budget_bytes;
+    if budget_bytes == 0 {
+        return Err(crate::error::AxqaError::InvalidBudget {
+            context: "ts_build",
+        });
+    }
+    let mut state = ClusterState::new(stable, config.size_model);
+    let mut merges = 0usize;
+    let mut pool_rebuilds = 0usize;
+    let mut merge_log: Vec<(u32, u32)> = Vec::new();
+    let mut scratch = ScoreScratch::new();
+
+    while state.size_bytes() > budget_bytes {
+        let pool = create_pool(&state, config, &mut scratch);
+        pool_rebuilds += 1;
+        if pool.is_empty() {
+            break;
+        }
+        let lower = if pool.len() > config.heap_lower {
+            config.heap_lower
+        } else {
+            0
+        };
+        let mut heap: BinaryHeap<MergeCandidate> = pool.into();
+        let merges_before = merges;
+        while state.size_bytes() > budget_bytes && heap.len() > lower {
+            let Some(cand) = heap.pop() else { break };
+            let a = state.resolve(cand.a);
+            let b = state.resolve(cand.b);
+            if a == b {
+                continue;
+            }
+            let fresh = a == cand.a
+                && b == cand.b
+                && state.version_of(a) == cand.version_a
+                && state.version_of(b) == cand.version_b;
+            if !fresh {
+                let delta = state.evaluate_merge(a, b, &mut scratch);
+                heap.push(MergeCandidate {
+                    ratio: delta.ratio(),
+                    a,
+                    b,
+                    version_a: state.version_of(a),
+                    version_b: state.version_of(b),
+                });
+                continue;
+            }
+            state.apply_merge(a, b);
+            merges += 1;
+            if config.record_merges {
+                merge_log.push((a, b));
+            }
+        }
+        if merges == merges_before {
+            break;
+        }
+    }
+
+    let final_bytes = state.size_bytes();
+    let (sketch, stable_assignment) = state.to_sketch_with_assignment();
+    Ok(BuildReport {
+        sketch,
+        merges,
+        pool_rebuilds,
+        reached_budget: final_bytes <= budget_bytes,
+        final_bytes,
+        squared_error: state.squared_error(),
+        stable_assignment,
+        merge_log,
     })
 }
 
@@ -399,7 +469,7 @@ fn create_pool(
     state: &ClusterState<'_>,
     config: &BuildConfig,
     scratch: &mut ScoreScratch,
-) -> Vec<Candidate> {
+) -> Vec<MergeCandidate> {
     let _span = axqa_obs::span_with(
         "CREATEPOOL",
         "threads",
@@ -450,6 +520,17 @@ fn create_pool(
         }
     }
     best.into_iter().map(|w| w.0).collect()
+}
+
+/// Public `CREATEPOOL` (Fig. 6) entry point for harnesses that drive the
+/// [`MergeQueue`] directly (the `merge_queue` criterion bench): generates
+/// the bounded candidate pool exactly as one TSBUILD round would.
+pub fn create_candidate_pool(
+    state: &ClusterState<'_>,
+    config: &BuildConfig,
+    scratch: &mut ScoreScratch,
+) -> Vec<MergeCandidate> {
+    create_pool(state, config, scratch)
 }
 
 /// One level of Fig. 6 scoring, sharded: worker `t` of `threads` scores
@@ -575,7 +656,7 @@ fn score_pair(
 ) {
     axqa_obs::counter("tsbuild.candidates_scored", 1);
     let delta = state.evaluate_merge(a, b, scratch);
-    let cand = Candidate {
+    let cand = MergeCandidate {
         ratio: delta.ratio(),
         a,
         b,
@@ -589,7 +670,7 @@ fn score_pair(
 /// compares the full `(ratio, a, b)` key, so the retained set is a pure
 /// function of the offered *set* — the property the parallel shard
 /// merge relies on.
-fn bounded_push(best: &mut BinaryHeap<WorstFirst>, cap: usize, cand: Candidate) {
+fn bounded_push(best: &mut BinaryHeap<WorstFirst>, cap: usize, cand: MergeCandidate) {
     if cap == 0 {
         return;
     }
@@ -620,7 +701,7 @@ fn structural_key(state: &ClusterState<'_>, id: u32) -> [u64; 4] {
 /// Max-heap wrapper: worst (largest) candidate under the total order on
 /// top, for the bounded pool.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct WorstFirst(Candidate);
+struct WorstFirst(MergeCandidate);
 impl Eq for WorstFirst {}
 impl PartialOrd for WorstFirst {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -725,7 +806,7 @@ mod tests {
         // partial_cmp(..).unwrap_or(Equal) ordering a NaN silently
         // scrambled the heap; total_cmp sorts it *after* every finite
         // ratio, so it is popped last and evicted first.
-        let mk = |ratio: f64, a: u32, b: u32| Candidate {
+        let mk = |ratio: f64, a: u32, b: u32| MergeCandidate {
             ratio,
             a,
             b,
@@ -733,7 +814,7 @@ mod tests {
             version_b: 0,
         };
         let nan = f64::NAN;
-        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        let mut heap: BinaryHeap<MergeCandidate> = BinaryHeap::new();
         heap.push(mk(nan, 7, 8));
         heap.push(mk(1.0, 3, 4));
         heap.push(mk(-2.0, 1, 2));

@@ -134,6 +134,25 @@ pub struct ScoreScratch {
     /// Binary searches performed by the current evaluation; flushed to
     /// the `tsbuild.stat_bsearch` counter once per call.
     bsearches: u64,
+    /// Epoch of the [`ClusterState`] the persistent caches below were
+    /// filled from; a scratch reused against a *different* state drops
+    /// them wholesale (cluster ids are only meaningful per state).
+    epoch: u64,
+    /// Cached `Cluster::err_total` per cluster id — the `old_child_err`
+    /// term every evaluation of a cluster recomputes otherwise.
+    err_cache: Vec<f64>,
+    /// Stamps validating `err_cache`: the cluster's stats version + 1
+    /// (0 = empty), so any stats change invalidates the entry for free.
+    err_stamp: Vec<u64>,
+    /// Structure-of-arrays child-side buffers: the merge-join writes the
+    /// combined `(sum, sum2)` pairs of non-self targets into these two
+    /// dense lanes, and a separate in-order pass folds the per-target
+    /// errors. Splitting the join from the arithmetic keeps the error
+    /// pass a branch-free stream over contiguous `f64`s (SIMD-friendly)
+    /// without changing the fold order the bitwise oracles pin.
+    child_sum: Vec<f64>,
+    /// Second SoA lane (see `child_sum`).
+    child_sum2: Vec<f64>,
 }
 
 impl ScoreScratch {
@@ -142,10 +161,19 @@ impl ScoreScratch {
         ScoreScratch::default()
     }
 
-    /// Opens a new generation able to address cluster ids `< n`.
-    fn begin(&mut self, n: usize) {
+    /// Opens a new generation able to address cluster ids `< n`, bound
+    /// to the state identified by `epoch`.
+    fn begin(&mut self, n: usize, epoch: u64) {
         self.generation = self.generation.wrapping_add(1);
         self.bsearches = 0;
+        if self.epoch != epoch {
+            // Scratch moved across ClusterStates: the err cache is keyed
+            // by cluster id and would alias between states.
+            self.epoch = epoch;
+            for stamp in &mut self.err_stamp {
+                *stamp = 0;
+            }
+        }
         if self.cross.len() < n {
             // Power-of-two headroom: a handful of growths per build,
             // every later call is a pure reuse.
@@ -153,9 +181,13 @@ impl ScoreScratch {
             self.cross.resize(cap, 0.0);
             self.cross_stamp.resize(cap, 0);
             self.seen_stamp.resize(cap, 0);
+            self.err_cache.resize(cap, 0.0);
+            self.err_stamp.resize(cap, 0);
         } else {
             axqa_obs::counter("tsbuild.scratch_reuses", 1);
         }
+        self.child_sum.clear();
+        self.child_sum2.clear();
     }
 
     #[inline]
@@ -210,6 +242,17 @@ pub struct ClusterState<'a> {
     merged_into: Vec<u32>,
     /// Stats version per cluster, for lazy heap invalidation.
     version: Vec<u64>,
+    /// Merge-generation stamp per cluster: bumped whenever *any* input
+    /// of an `evaluate_merge` involving the cluster can have changed —
+    /// its own stats changed (superset of `version` bumps) or a parent
+    /// cluster of it died in a merge. Two evaluations of the same pair
+    /// at equal stamps are therefore bitwise identical, which is the
+    /// score-memo invariant the lazy merge queue relies on
+    /// (DESIGN.md §13).
+    merge_gen: Vec<u64>,
+    /// Identity of this state for cross-state scratch reuse (see
+    /// [`ScoreScratch::begin`]); unique per constructed state.
+    epoch: u64,
     alive: usize,
     total_edges: usize,
     total_sq: f64,
@@ -263,6 +306,9 @@ impl<'a> ClusterState<'a> {
                 stats,
             });
         }
+        // A process-unique epoch per state: lets a reused ScoreScratch
+        // detect that its id-keyed caches belong to another state.
+        static NEXT_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         ClusterState {
             stable,
             model,
@@ -272,6 +318,8 @@ impl<'a> ClusterState<'a> {
             incoming,
             merged_into: (0..axqa_xml::dense_id(n)).collect(),
             version: vec![0; n],
+            merge_gen: vec![0; n],
+            epoch: NEXT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             alive: n,
             total_edges,
             total_sq: 0.0,
@@ -312,6 +360,24 @@ impl<'a> ClusterState<'a> {
         id
     }
 
+    /// [`Self::resolve`] with path halving: every visited entry is
+    /// re-pointed at its grandparent, so forwarding chains built up over
+    /// tens of thousands of merges amortize toward length one. Returns
+    /// the same root as `resolve` — halving only shortcuts *along* the
+    /// chain, never past the current root, so a later redirect of that
+    /// root (`apply_split`) still reaches everything behind it.
+    pub fn resolve_compress(&mut self, mut id: u32) -> u32 {
+        loop {
+            let parent = self.merged_into[id as usize];
+            if parent == id {
+                return id;
+            }
+            let grand = self.merged_into[parent as usize];
+            self.merged_into[id as usize] = grand;
+            id = grand;
+        }
+    }
+
     /// Whether `id` names a live cluster.
     pub fn is_alive(&self, id: u32) -> bool {
         self.clusters[id as usize].alive
@@ -325,6 +391,17 @@ impl<'a> ClusterState<'a> {
     /// Stats version of a cluster (for lazy invalidation).
     pub fn version_of(&self, id: u32) -> u64 {
         self.version[id as usize]
+    }
+
+    /// Merge-generation stamp of a cluster. Invariant: between two
+    /// moments at which `merge_gen_of(a)` *and* `merge_gen_of(b)` are
+    /// unchanged, `evaluate_merge(a, b, _)` returns bitwise-identical
+    /// results — the stamp is bumped for every cluster whose own stats
+    /// changed and for every child of a merged pair (whose parent-side
+    /// inputs changed). The lazy merge queue keys its score memo on
+    /// these stamps.
+    pub fn merge_gen_of(&self, id: u32) -> u64 {
+        self.merge_gen[id as usize]
     }
 
     /// Ids of all live clusters.
@@ -405,6 +482,26 @@ impl<'a> ClusterState<'a> {
             .unwrap_or(0)
     }
 
+    /// `Cluster::err_total` through the scratch's per-cluster cache: the
+    /// recomputation (an in-order fold over the cluster's stats) only
+    /// runs when the cluster's stats version moved since the cached
+    /// fold, so repeated evaluations touching the same clusters — the
+    /// common case in both CREATEPOOL groups and the merge loop — skip
+    /// the O(|stats|) scan. The cached value is the bitwise result of
+    /// the fold it replaces.
+    fn err_total_cached(&self, id: u32, scratch: &mut ScoreScratch) -> f64 {
+        let slot = id as usize;
+        let stamp = self.version[slot].wrapping_add(1);
+        if scratch.err_stamp[slot] == stamp {
+            scratch.err_cache[slot]
+        } else {
+            let err = self.clusters[slot].err_total();
+            scratch.err_stamp[slot] = stamp;
+            scratch.err_cache[slot] = err;
+            err
+        }
+    }
+
     /// Evaluates the merge of live clusters `a` and `b` (same label)
     /// without applying it. The caller provides a [`ScoreScratch`];
     /// steady-state evaluation performs no heap allocation.
@@ -423,14 +520,14 @@ impl<'a> ClusterState<'a> {
         let nb = cb.elem_count as f64;
         let nc = na + nb;
 
-        scratch.begin(self.clusters.len());
+        scratch.begin(self.clusters.len(), self.epoch);
         self.cross_terms(a, b, scratch);
 
         // --- Child side: err of the merged cluster vs err(a) + err(b).
-        let mut new_child_err = 0.0f64;
-        let mut new_child_edges = 0usize;
         // Merge the two sorted stats lists, collapsing targets a and b
-        // into the future cluster c.
+        // into the future cluster c. Non-self targets stream their
+        // combined (sum, sum2) pairs into the scratch's SoA lanes; the
+        // error arithmetic runs as a separate pass below.
         let mut self_stat = EdgeStat::default(); // target c after rename
         let mut has_self = false;
         {
@@ -438,31 +535,41 @@ impl<'a> ClusterState<'a> {
             let mut j = 0;
             let sa = &ca.stats;
             let sb = &cb.stats;
-            let mut handle = |target: u32, stat: EdgeStat| {
+            let mut handle = |target: u32, stat: EdgeStat, scratch: &mut ScoreScratch| {
                 if target == a || target == b {
                     self_stat.add(stat);
                     has_self = true;
                 } else {
-                    new_child_err += stat.err(nc);
-                    new_child_edges += 1;
+                    scratch.child_sum.push(stat.sum);
+                    scratch.child_sum2.push(stat.sum2);
                 }
             };
             while i < sa.len() || j < sb.len() {
                 if j >= sb.len() || (i < sa.len() && sa[i].0 < sb[j].0) {
-                    handle(sa[i].0, sa[i].1);
+                    handle(sa[i].0, sa[i].1, scratch);
                     i += 1;
                 } else if i >= sa.len() || sb[j].0 < sa[i].0 {
-                    handle(sb[j].0, sb[j].1);
+                    handle(sb[j].0, sb[j].1, scratch);
                     j += 1;
                 } else {
                     let mut merged = sa[i].1;
                     merged.add(sb[j].1);
-                    handle(sa[i].0, merged);
+                    handle(sa[i].0, merged, scratch);
                     i += 1;
                     j += 1;
                 }
             }
         }
+        // SoA error pass: per lane `(sum2 − sum²/nc).max(0)` — the exact
+        // per-target expression of `EdgeStat::err`, folded in the same
+        // (target) order the inline version used, so the total is
+        // bitwise identical while the elementwise arithmetic runs over
+        // two contiguous f64 streams.
+        let mut new_child_err = 0.0f64;
+        for (&sum, &sum2) in scratch.child_sum.iter().zip(scratch.child_sum2.iter()) {
+            new_child_err += (sum2 - sum * sum / nc).max(0.0);
+        }
+        let mut new_child_edges = scratch.child_sum.len();
         if has_self {
             // Self-loop target: members of a∪b with edges into a or b;
             // K values combine, adding the exact cross term.
@@ -471,7 +578,7 @@ impl<'a> ClusterState<'a> {
             new_child_err += self_stat.err(nc);
             new_child_edges += 1;
         }
-        let old_child_err = ca.err_total() + cb.err_total();
+        let old_child_err = self.err_total_cached(a, scratch) + self.err_total_cached(b, scratch);
         let mut errd = new_child_err - old_child_err;
         let child_edges_removed = ca.stats.len() + cb.stats.len() - new_child_edges;
 
@@ -699,6 +806,7 @@ impl<'a> ClusterState<'a> {
         self.merged_into[a as usize] = c;
         self.merged_into[b as usize] = c;
         self.version.push(0);
+        self.merge_gen.push(0); // stamped in step 5 with the final stats
         self.alive -= 1;
 
         // -- 3. Rewrite child_k entries of stable nodes with edges into a
@@ -747,8 +855,20 @@ impl<'a> ClusterState<'a> {
             new_contrib += cp.stat(c).err(np);
             new_edges += cp.stats.len();
             self.version[p as usize] = self.version[p as usize].wrapping_add(1);
+            self.merge_gen[p as usize] = self.merge_gen[p as usize].wrapping_add(1);
+        }
+        // Children of the merged pair keep their own stats, but their
+        // parent-side evaluate_merge inputs changed (a parent cluster
+        // died, its stats collapsed into c): bump their merge-gen so
+        // memoized scores involving them are invalidated. c's stats
+        // targets are exactly those children (plus possibly c itself).
+        for &(t, _) in &self.clusters[c as usize].stats {
+            if t != c {
+                self.merge_gen[t as usize] = self.merge_gen[t as usize].wrapping_add(1);
+            }
         }
         self.version[c as usize] = 1;
+        self.merge_gen[c as usize] = self.merge_gen[c as usize].max(1);
         self.total_sq += new_contrib - old_contrib;
         self.total_sq = self.total_sq.max(0.0);
         self.total_edges = self.total_edges + new_edges - old_edges;
@@ -864,6 +984,7 @@ impl<'a> ClusterState<'a> {
         self.clusters[id as usize].members = members;
         self.clusters[id as usize].stats = stats;
         self.version[id as usize] = self.version[id as usize].wrapping_add(1);
+        self.merge_gen[id as usize] = self.merge_gen[id as usize].wrapping_add(1);
     }
 
     /// Reference recomputation of a cluster's stats via hash-map
@@ -943,6 +1064,7 @@ impl<'a> ClusterState<'a> {
             });
             state.merged_into.push(new_id);
             state.version.push(0);
+            state.merge_gen.push(0);
             state.incoming.push(Vec::new());
             new_id
         };
@@ -981,6 +1103,15 @@ impl<'a> ClusterState<'a> {
         for &p in &parent_clusters {
             if p != u1 && p != u2 {
                 self.recompute_stats(p);
+            }
+        }
+        // Children of the split cluster see their parent identity change
+        // (id died, the halves took over its edges): bump their
+        // merge-gen like apply_merge does for the merged pair's children.
+        for half in [u1, u2] {
+            for index in 0..self.clusters[half as usize].stats.len() {
+                let t = self.clusters[half as usize].stats[index].0;
+                self.merge_gen[t as usize] = self.merge_gen[t as usize].wrapping_add(1);
             }
         }
 

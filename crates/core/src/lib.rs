@@ -37,6 +37,10 @@
 //! * [`build`] — `TSBUILD` + `CREATEPOOL` (Figures 5, 6): bottom-up
 //!   greedy merging ranked by marginal gain `errd/sized`, with a bounded
 //!   candidate pool regenerated between rounds.
+//! * [`queue`] — the lazy stale-skipping merge queue the TSBUILD loop
+//!   drains: generation-stamped heap entries plus a score memo that
+//!   re-evaluates only candidates adjacent to an applied merge, with the
+//!   greedy merge sequence provably bit-identical to eager re-scoring.
 //! * [`topdown`] — the top-down split-based ablation §4.2 argues against.
 //! * [`eval`] — `EVALQUERY` + `EVALEMBED` (Figures 7, 8): approximate
 //!   twig answering producing a [`eval::ResultSketch`] that summarizes
@@ -50,12 +54,15 @@ pub mod error;
 pub mod eval;
 pub mod expand;
 pub mod io;
+pub mod queue;
 pub mod selectivity;
 pub mod sketch;
 pub mod topdown;
 pub mod values;
 
-pub use build::{try_ts_build, ts_build, BuildConfig, BuildReport};
+pub use build::{
+    create_candidate_pool, try_ts_build, ts_build, ts_build_eager, BuildConfig, BuildReport,
+};
 pub use cluster::{ClusterState, PartitionSnapshot, ScoreScratch};
 pub use error::AxqaError;
 pub use eval::{
@@ -63,6 +70,7 @@ pub use eval::{
     ResultSketch,
 };
 pub use expand::{expand_result, Expansion};
+pub use queue::{MergeCandidate, MergeQueue, QueueStats};
 pub use selectivity::{estimate_selectivity, try_estimate_query_selectivity};
 pub use sketch::{TreeSketch, TsNodeId};
 pub use topdown::topdown_build;

@@ -77,6 +77,21 @@ fn parallel_and_serial_tsbuild_report_identical_counter_totals() {
         serial.counter("tsbuild.candidates_scored"),
         parallel.counter("tsbuild.candidates_scored")
     );
+    // The lazy merge queue (DESIGN.md §13) drains identically under any
+    // thread count: same re-evaluations, same memo hits, same
+    // adjacency-invalidated re-scores.
+    assert_eq!(
+        serial.counter("tsbuild.reevals"),
+        parallel.counter("tsbuild.reevals")
+    );
+    assert_eq!(
+        serial.counter("tsbuild.stale_skipped"),
+        parallel.counter("tsbuild.stale_skipped")
+    );
+    assert_eq!(
+        serial.counter("tsbuild.adjacent_rescored"),
+        parallel.counter("tsbuild.adjacent_rescored")
+    );
     // Counters agree with the build reports they instrument.
     assert_eq!(
         serial.counter("tsbuild.merges"),

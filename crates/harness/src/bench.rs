@@ -102,7 +102,10 @@ pub struct TsBuildRow {
     pub parallel_ms: f64,
     /// Thread count the parallel variant actually used.
     pub threads: usize,
-    /// `serial_ms / parallel_ms`.
+    /// `serial_ms / parallel_ms` — NaN (JSON `null`) when the parallel
+    /// variant ran with one thread: a 1-thread run compares serial
+    /// against itself and a ≈1 "speedup" would be a measurement
+    /// artifact, not a result (README "Benchmarks" caveat).
     pub speedup: f64,
 }
 
@@ -249,7 +252,13 @@ fn bench_ts_build(config: &BaselineConfig, stable: &StableSummary, budget_kb: us
         serial_ms,
         parallel_ms,
         threads,
-        speedup: serial_ms / parallel_ms.max(1e-9),
+        // Single-threaded "parallel" runs have no parallelism to
+        // measure; json_f renders the NaN as null.
+        speedup: if threads <= 1 {
+            f64::NAN
+        } else {
+            serial_ms / parallel_ms.max(1e-9)
+        },
     }
 }
 
@@ -615,6 +624,8 @@ mod tests {
         // of growing fresh arrays.
         assert!(report.metrics.counter("tsbuild.scratch_reuses") > 0);
         assert!(report.metrics.counter("tsbuild.stat_bsearch") > 0);
+        // The lazy merge queue converted stale re-pushes into memo hits.
+        assert!(report.metrics.counter("tsbuild.stale_skipped") > 0);
         assert!(report.eval_per_query_us_p95 >= report.eval_per_query_us_p50);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -622,6 +633,23 @@ mod tests {
         let on_disk = std::fs::read_to_string(&config.out).unwrap();
         assert_eq!(on_disk, json);
         let _ = std::fs::remove_file(&config.out);
+    }
+
+    #[test]
+    fn single_threaded_baseline_emits_null_speedup() {
+        let _gate = RECORDER_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut config = tiny();
+        config.threads = 1;
+        let report = run_baseline(&config);
+        assert_eq!(report.threads_used, 1);
+        for row in &report.ts_build {
+            assert_eq!(row.threads, 1);
+            assert!(row.speedup.is_nan(), "1-thread speedup must be null");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"speedup\": null"), "{json}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! committed BENCH_core.json into a ratcheting performance trajectory
 //! the way lint-baseline.toml ratchets findings.
 //!
-//! Two kinds of checks, with different tolerances:
+//! Three kinds of checks, with different tolerances:
 //!
 //! * **time** metrics (wall-clock medians, phase totals) are noisy —
 //!   they pass within a relative threshold (default ±8%, `--time-pct`)
@@ -12,7 +12,12 @@
 //! * **determinism counters** (`tsbuild.merges`, …) are exact by
 //!   construction — the TSBUILD merge sequence is thread-count
 //!   independent (PR 2) — so any difference is a real behavioral
-//!   change and always fails, never warns.
+//!   change and always fails, never warns;
+//! * **ratchet counters** (`tsbuild.reevals`) measure work whose
+//!   *outcome* is pinned by the determinism set but whose *amount* is
+//!   an optimization target (the lazy merge queue, DESIGN.md §13,
+//!   exists to shrink it): they must not increase, while decreases are
+//!   improvements and pass.
 //!
 //! Comparing runs of different configurations (dataset, size, seed,
 //! budgets, run count) is meaningless for the exact checks, so a config
@@ -70,7 +75,8 @@ impl Status {
 pub struct Check {
     /// Dotted metric path, e.g. `ts_build[10kb].serial_ms`.
     pub metric: String,
-    /// `time` (threshold), `counter` (exact), or `config` (equality).
+    /// `time` (threshold), `counter` (exact), `ratchet` (must not
+    /// increase), or `config` (equality).
     pub kind: &'static str,
     pub old: String,
     pub new: String,
@@ -99,11 +105,19 @@ pub struct DiffReport {
 pub const DETERMINISM_COUNTERS: &[&str] = &[
     "tsbuild.merges",
     "tsbuild.pool_rebuilds",
-    "tsbuild.reevals",
     "tsbuild.candidates_scored",
     "evalquery.automaton_states",
     "evalquery.embeddings_expanded",
 ];
+
+/// Ratcheting counters: deterministic for a given implementation (so
+/// still thread-count invariant), but *reducing* them is the point of
+/// perf work — `tsbuild.reevals` dropped by design when the lazy merge
+/// queue started serving stale pops from its score memo. An increase
+/// fails; a decrease is an improvement and passes. (The squared-error
+/// outcome itself stays pinned by the exact set: `tsbuild.merges`
+/// changing would mean a different merge sequence.)
+pub const RATCHET_COUNTERS: &[&str] = &["tsbuild.reevals"];
 
 /// Config keys that must match for two snapshots to be comparable at
 /// all (they determine the workload, hence every exact counter).
@@ -272,6 +286,37 @@ fn compare(old: &Json, new: &Json, report: &mut DiffReport) {
         report.checks.push(Check {
             metric: (*counter).to_string(),
             kind: "counter",
+            old: old_value.map_or("absent".into(), |v| v.to_string()),
+            new: new_value.map_or("absent".into(), |v| v.to_string()),
+            delta_pct: None,
+            status,
+        });
+    }
+    for counter in RATCHET_COUNTERS {
+        let old_value = old
+            .pointer("metrics.counters")
+            .and_then(|c| c.get(counter))
+            .and_then(Json::as_u64);
+        let new_value = new
+            .pointer("metrics.counters")
+            .and_then(|c| c.get(counter))
+            .and_then(Json::as_u64);
+        let status = match (old_value, new_value) {
+            (Some(old_n), Some(new_n)) => {
+                if new_n > old_n {
+                    Status::Fail // the ratchet only turns one way
+                } else {
+                    Status::Ok
+                }
+            }
+            // A snapshot from before the counter existed sets no bar.
+            (None, _) => Status::Ok,
+            // Coverage shrank: the new run stopped reporting it.
+            (Some(_), None) => Status::Fail,
+        };
+        report.checks.push(Check {
+            metric: (*counter).to_string(),
+            kind: "ratchet",
             old: old_value.map_or("absent".into(), |v| v.to_string()),
             new: new_value.map_or("absent".into(), |v| v.to_string()),
             delta_pct: None,
@@ -562,6 +607,83 @@ mod tests {
         assert!(improved.passed());
         let _ = std::fs::remove_file(&old);
         let _ = std::fs::remove_file(&new);
+    }
+
+    #[test]
+    fn reeval_ratchet_accepts_improvements_and_rejects_increases() {
+        let old = write_tmp("ratchet-old.json", &snapshot(100, 4.0));
+        // tsbuild.reevals drops 7 → 3: an improvement, which must pass
+        // even though the values differ (the old exact-match rule would
+        // have failed it).
+        let better = snapshot(100, 4.0).replace("\"tsbuild.reevals\": 7", "\"tsbuild.reevals\": 3");
+        let new = write_tmp("ratchet-new.json", &better);
+        let improved = run_diff(
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            DiffConfig::default(),
+        );
+        assert!(improved.passed(), "{}", improved.render());
+
+        // The other direction (3 → 7) turns the ratchet backwards.
+        let regressed = run_diff(
+            new.to_str().unwrap(),
+            old.to_str().unwrap(),
+            DiffConfig {
+                warn_only_time: true, // ratchet failures must not demote
+                ..DiffConfig::default()
+            },
+        );
+        assert!(!regressed.passed());
+        let failed: Vec<&Check> = regressed
+            .checks
+            .iter()
+            .filter(|c| c.status == Status::Fail)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].metric, "tsbuild.reevals");
+        assert_eq!(failed[0].kind, "ratchet");
+        assert!(regressed
+            .render()
+            .contains("[fail] ratchet tsbuild.reevals"));
+
+        // A pre-ratchet snapshot (no reevals counter at all) sets no
+        // bar: diffing a new run against it passes the ratchet.
+        let ancient = snapshot(100, 4.0).replace("\"tsbuild.reevals\": 7, ", "");
+        let ancient = write_tmp("ratchet-ancient.json", &ancient);
+        let vs_ancient = run_diff(
+            ancient.to_str().unwrap(),
+            old.to_str().unwrap(),
+            DiffConfig::default(),
+        );
+        assert!(vs_ancient.passed(), "{}", vs_ancient.render());
+        // But dropping the counter from the new run shrinks coverage.
+        let dropped = run_diff(
+            old.to_str().unwrap(),
+            ancient.to_str().unwrap(),
+            DiffConfig::default(),
+        );
+        assert!(!dropped.passed());
+        let _ = std::fs::remove_file(&old);
+        let _ = std::fs::remove_file(&new);
+        let _ = std::fs::remove_file(&ancient);
+    }
+
+    #[test]
+    fn null_speedup_rows_are_tolerated() {
+        // Single-threaded baselines emit "speedup": null (there is no
+        // parallelism to measure); the diff must parse and compare such
+        // snapshots without tripping over the null.
+        let nulled = snapshot(100, 4.0).replace("\"speedup\": 1.0", "\"speedup\": null");
+        assert!(nulled.contains("\"speedup\": null"));
+        let path = write_tmp("null-speedup.json", &nulled);
+        let report = run_diff(
+            path.to_str().unwrap(),
+            path.to_str().unwrap(),
+            DiffConfig::default(),
+        );
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert!(report.passed(), "{}", report.render());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
